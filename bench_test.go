@@ -1,0 +1,278 @@
+// Benchmarks regenerating each table and figure of the paper (§5). Every
+// benchmark reports the experiment's headline metric with b.ReportMetric,
+// so `go test -bench=.` doubles as a compact reproduction run. For the
+// full formatted report, use `go run ./cmd/slicebench -exp all`.
+package slice_test
+
+import (
+	"fmt"
+	"testing"
+
+	"slice/internal/ensemble"
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/route"
+	"slice/internal/sim"
+	"slice/internal/workload"
+	"slice/internal/xdr"
+)
+
+// BenchmarkTable2BulkIO regenerates Table 2: bulk I/O bandwidth per
+// workload, single-client and at saturation.
+func BenchmarkTable2BulkIO(b *testing.B) {
+	rows := []struct {
+		name     string
+		write    bool
+		mirrored bool
+	}{
+		{"read", false, false},
+		{"write", true, false},
+		{"read-mirrored", false, true},
+		{"write-mirrored", true, true},
+	}
+	for _, r := range rows {
+		b.Run(r.name+"/single-client", func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				res := sim.RunBulk(sim.BulkConfig{
+					StorageNodes: 8, Clients: 1,
+					Write: r.write, Mirrored: r.mirrored,
+					BytesPerClient: 64 << 20,
+				})
+				mbps = res.PerClientMBps
+			}
+			b.ReportMetric(mbps, "MB/s")
+		})
+		b.Run(r.name+"/saturation", func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				res := sim.RunBulk(sim.BulkConfig{
+					StorageNodes: 8, Clients: 16, Tuned: true,
+					Write: r.write, Mirrored: r.mirrored,
+					BytesPerClient: 32 << 20,
+				})
+				mbps = res.AggregateMBps
+			}
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
+}
+
+// BenchmarkTable3ProxyCPU regenerates Table 3: per-stage µproxy CPU cost
+// measured on the live implementation under the untar workload.
+func BenchmarkTable3ProxyCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := ensemble.New(ensemble.Config{
+			StorageNodes: 2, DirServers: 2, SmallFileServers: 1,
+			Coordinator: true, NameKind: route.MkdirSwitching, MkdirP: 0.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := e.NewClient()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		if _, err := workload.Untar(c, c.Root(), workload.UntarConfig{Entries: 500}); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		st := e.Proxy.Stats()
+		if pkts := st.Requests + st.Responses; pkts > 0 {
+			b.ReportMetric(float64(st.InterceptNS)/float64(pkts), "intercept-ns/pkt")
+			b.ReportMetric(float64(st.DecodeNS)/float64(pkts), "decode-ns/pkt")
+			b.ReportMetric(float64(st.RewriteNS)/float64(pkts), "rewrite-ns/pkt")
+			b.ReportMetric(float64(st.SoftStateNS)/float64(pkts), "softstate-ns/pkt")
+		}
+		c.Close()
+		e.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFig3DirScaling regenerates Figure 3: mean untar completion
+// time for the N-MFS baseline and Slice-N at a representative load.
+func BenchmarkFig3DirScaling(b *testing.B) {
+	const procs = 16
+	configs := []struct {
+		name     string
+		servers  int
+		baseline bool
+	}{
+		{"N-MFS", 1, true},
+		{"Slice-1", 1, false},
+		{"Slice-2", 2, false},
+		{"Slice-4", 4, false},
+	}
+	for _, cfg := range configs {
+		b.Run(fmt.Sprintf("%s/procs=%d", cfg.name, procs), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				res := sim.RunUntar(sim.UntarConfig{
+					DirServers: cfg.servers, Baseline: cfg.baseline,
+					Processes: procs, Kind: route.MkdirSwitching,
+					P: 1 / float64(cfg.servers),
+				})
+				lat = res.MeanLatency
+			}
+			b.ReportMetric(lat, "untar-sec")
+		})
+	}
+}
+
+// BenchmarkFig4Affinity regenerates Figure 4: untar latency across the
+// directory-affinity sweep at 16 processes on 4 directory servers.
+func BenchmarkFig4Affinity(b *testing.B) {
+	for _, affinity := range []float64{0, 0.4, 0.8, 1.0} {
+		b.Run(fmt.Sprintf("affinity=%.0f%%", affinity*100), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				res := sim.RunUntar(sim.UntarConfig{
+					DirServers: 4, Processes: 16, ClientNodes: 4,
+					Kind: route.MkdirSwitching, P: 1 - affinity,
+				})
+				lat = res.MeanLatency
+			}
+			b.ReportMetric(lat, "untar-sec")
+		})
+	}
+}
+
+// BenchmarkFig5SfsThroughput regenerates Figure 5: SPECsfs97 delivered
+// IOPS at saturation for each configuration.
+func BenchmarkFig5SfsThroughput(b *testing.B) {
+	configs := []struct {
+		name     string
+		nodes    int
+		baseline bool
+	}{
+		{"NFS", 1, true},
+		{"Slice-1", 1, false},
+		{"Slice-2", 2, false},
+		{"Slice-4", 4, false},
+		{"Slice-8", 8, false},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var iops float64
+			for i := 0; i < b.N; i++ {
+				res := sim.RunSfs(sim.SfsConfig{
+					StorageNodes: cfg.nodes, Baseline: cfg.baseline,
+					OfferedIOPS: 9000, Duration: 20, Warmup: 4,
+				})
+				iops = res.DeliveredIOPS
+			}
+			b.ReportMetric(iops, "IOPS")
+		})
+	}
+}
+
+// BenchmarkFig6SfsLatency regenerates Figure 6: mean SPECsfs latency at a
+// below-saturation and a past-cache-overflow operating point.
+func BenchmarkFig6SfsLatency(b *testing.B) {
+	points := []struct {
+		name    string
+		nodes   int
+		offered float64
+	}{
+		{"Slice-8/light", 8, 500},
+		{"Slice-8/overflowed", 8, 4000},
+		{"Slice-8/near-saturation", 8, 6000},
+	}
+	for _, p := range points {
+		b.Run(p.name, func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				res := sim.RunSfs(sim.SfsConfig{
+					StorageNodes: p.nodes, OfferedIOPS: p.offered,
+					Duration: 20, Warmup: 4,
+				})
+				ms = res.MeanLatencyMs
+			}
+			b.ReportMetric(ms, "latency-ms")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the µproxy-critical code paths -----------------
+
+// BenchmarkProxyDecode measures the packet-decode stage in isolation: the
+// dominant µproxy cost in Table 3.
+func BenchmarkProxyDecode(b *testing.B) {
+	fh := fhandle.Handle{Volume: 1, FileID: 42, Type: 1, CellKey: 42, Site: 1, Gen: 1}
+	args := nfsproto.LookupArgs{Dir: fh, Name: "src"}
+	e := xdr.NewEncoder(128)
+	args.Encode(e)
+	body := e.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nfsproto.ParseCall(nfsproto.ProcLookup, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNameKey measures the MD5 fingerprint that keys both hash
+// chains and the name-hashing policy.
+func BenchmarkNameKey(b *testing.B) {
+	fh := fhandle.Handle{Volume: 1, FileID: 42, Gen: 1}
+	for i := 0; i < b.N; i++ {
+		fhandle.NameKey(fh, "some-file-name.c")
+	}
+}
+
+func benchAddrs(n int) []netsim.Addr {
+	out := make([]netsim.Addr, n)
+	for i := range out {
+		out[i] = netsim.Addr{Host: uint32(10 + i), Port: 2049}
+	}
+	return out
+}
+
+// BenchmarkRouteIO measures bulk-I/O target selection.
+func BenchmarkRouteIO(b *testing.B) {
+	table := route.NewTable(8, benchAddrs(8))
+	policy := route.NewIOPolicy(nil, table)
+	fh := fhandle.Handle{Volume: 1, FileID: 7, Gen: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.ReadTarget(fh, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveUntarThroughput measures end-to-end live-stack throughput
+// for the name-intensive workload (ops/sec through the full µproxy and
+// directory-server path).
+func BenchmarkLiveUntarThroughput(b *testing.B) {
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: 2, DirServers: 2, SmallFileServers: 1,
+		Coordinator: true, NameKind: route.MkdirSwitching, MkdirP: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	c, err := e.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		st, err := workload.Untar(c, c.Root(), workload.UntarConfig{
+			Entries: 200, Prefix: fmt.Sprintf("bench%d", i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += st.NFSOps
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "nfs-ops/s")
+}

@@ -1,0 +1,266 @@
+// Command slicectl is the Slice client CLI. It mounts a volume — either
+// from a running sliced over UDP (-connect) or from a throwaway in-process
+// ensemble (the default, handy for demos) — and executes one file command:
+//
+//	slicectl -connect 127.0.0.1:20490 ls /
+//	slicectl -connect 127.0.0.1:20490 mkdir /src
+//	slicectl -connect 127.0.0.1:20490 put /src/a.txt "hello"
+//	slicectl -connect 127.0.0.1:20490 get /src/a.txt
+//	slicectl -connect 127.0.0.1:20490 stat /src/a.txt
+//	slicectl -connect 127.0.0.1:20490 mv /src/a.txt /src/b.txt
+//	slicectl -connect 127.0.0.1:20490 rm /src/b.txt
+//	slicectl -connect 127.0.0.1:20490 untar /stress 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"slice/internal/client"
+	"slice/internal/ensemble"
+	"slice/internal/fhandle"
+	"slice/internal/route"
+	"slice/internal/udpgate"
+	"slice/internal/workload"
+)
+
+func main() {
+	connect := flag.String("connect", "", "UDP address of a running sliced (empty: in-process ensemble)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: slicectl [-connect addr] <ls|mkdir|put|get|stat|mv|rm|rmdir|df|untar> [args]")
+		os.Exit(2)
+	}
+
+	var c *client.Client
+	if *connect != "" {
+		conn, err := udpgate.Dial(*connect)
+		if err != nil {
+			log.Fatalf("slicectl: dial: %v", err)
+		}
+		c = client.NewWithConn(conn, client.Config{})
+	} else {
+		e, err := ensemble.New(ensemble.Config{
+			StorageNodes: 4, DirServers: 2, SmallFileServers: 2,
+			Coordinator: true, NameKind: route.MkdirSwitching, MkdirP: 0.25,
+		})
+		if err != nil {
+			log.Fatalf("slicectl: ensemble: %v", err)
+		}
+		defer e.Close()
+		c, err = e.NewClient()
+		if err != nil {
+			log.Fatalf("slicectl: client: %v", err)
+		}
+		defer c.Close()
+	}
+	if *connect != "" {
+		if err := c.Mount(); err != nil {
+			log.Fatalf("slicectl: mount: %v", err)
+		}
+		defer c.Close()
+	}
+
+	if err := run(c, args); err != nil {
+		log.Fatalf("slicectl: %v", err)
+	}
+}
+
+// resolve walks an absolute path to a handle.
+func resolve(c *client.Client, path string) (fhandle.Handle, error) {
+	cur := c.Root()
+	for _, part := range splitPath(path) {
+		fh, _, err := c.Lookup(cur, part)
+		if err != nil {
+			return fhandle.Handle{}, fmt.Errorf("%s: %w", part, err)
+		}
+		cur = fh
+	}
+	return cur, nil
+}
+
+// resolveParent returns the handle of the path's directory and the final
+// name component.
+func resolveParent(c *client.Client, path string) (fhandle.Handle, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return fhandle.Handle{}, "", fmt.Errorf("path %q has no final component", path)
+	}
+	dir := c.Root()
+	for _, part := range parts[:len(parts)-1] {
+		fh, _, err := c.Lookup(dir, part)
+		if err != nil {
+			return fhandle.Handle{}, "", fmt.Errorf("%s: %w", part, err)
+		}
+		dir = fh
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+func splitPath(path string) []string {
+	var out []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(c *client.Client, args []string) error {
+	cmd := args[0]
+	need := func(n int) error {
+		if len(args) < n+1 {
+			return fmt.Errorf("%s: missing arguments", cmd)
+		}
+		return nil
+	}
+	switch cmd {
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		dir, err := resolve(c, args[1])
+		if err != nil {
+			return err
+		}
+		ents, err := c.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			fmt.Println(e.Name)
+		}
+		return nil
+
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		dir, name, err := resolveParent(c, args[1])
+		if err != nil {
+			return err
+		}
+		_, _, err = c.Mkdir(dir, name, 0o755)
+		return err
+
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		dir, name, err := resolveParent(c, args[1])
+		if err != nil {
+			return err
+		}
+		fh, _, err := c.Create(dir, name, 0o644, false)
+		if err != nil {
+			return err
+		}
+		return c.WriteFile(fh, []byte(args[2]))
+
+	case "get":
+		if err := need(1); err != nil {
+			return err
+		}
+		fh, err := resolve(c, args[1])
+		if err != nil {
+			return err
+		}
+		data, err := c.ReadAll(fh)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return nil
+
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		fh, err := resolve(c, args[1])
+		if err != nil {
+			return err
+		}
+		at, err := c.GetAttr(fh)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("type %v mode %o nlink %d size %d used %d fileid %d site %d\n",
+			at.Type, at.Mode, at.Nlink, at.Size, at.Used, at.FileID, fh.Site)
+		return nil
+
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		fromDir, fromName, err := resolveParent(c, args[1])
+		if err != nil {
+			return err
+		}
+		toDir, toName, err := resolveParent(c, args[2])
+		if err != nil {
+			return err
+		}
+		return c.Rename(fromDir, fromName, toDir, toName)
+
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		dir, name, err := resolveParent(c, args[1])
+		if err != nil {
+			return err
+		}
+		return c.Remove(dir, name)
+
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		dir, name, err := resolveParent(c, args[1])
+		if err != nil {
+			return err
+		}
+		return c.Rmdir(dir, name)
+
+	case "df":
+		res, err := c.FsStat(c.Root())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bytes: %d total, %d free; files: %d total, %d free\n",
+			res.TotalBytes, res.FreeBytes, res.TotalFiles, res.FreeFiles)
+		return nil
+
+	case "untar":
+		if err := need(2); err != nil {
+			return err
+		}
+		entries, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("untar: bad entry count %q", args[2])
+		}
+		dir, name, err := resolveParent(c, args[1])
+		if err != nil {
+			return err
+		}
+		_ = dir
+		st, err := workload.Untar(c, c.Root(), workload.UntarConfig{
+			Entries: entries, Prefix: name,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("untar: %d dirs, %d files, %d NFS ops\n", st.Dirs, st.Files, st.NFSOps)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,3 @@
+module slice
+
+go 1.22

@@ -1,0 +1,275 @@
+// Package attr defines file attributes in the style of the NFS V3 fattr3
+// structure, together with the timestamp conventions Slice relies on.
+//
+// In Slice, directory servers hold the authoritative attributes for each
+// file, but the µproxy caches attributes and patches them into responses so
+// that clients always observe a complete, current attribute set (§4.1 of
+// the paper). Timestamps are assigned by whichever site performs an update;
+// the architecture assumes NTP-synchronized clocks.
+package attr
+
+import (
+	"fmt"
+	"time"
+
+	"slice/internal/xdr"
+)
+
+// FileType enumerates NFS V3 file types (subset used by Slice).
+type FileType uint32
+
+// File types. Values match the NFS V3 ftype3 enumeration.
+const (
+	TypeNone FileType = 0
+	TypeReg  FileType = 1 // regular file
+	TypeDir  FileType = 2 // directory
+	TypeLink FileType = 5 // symbolic link
+)
+
+// String returns a short name for the file type.
+func (t FileType) String() string {
+	switch t {
+	case TypeReg:
+		return "REG"
+	case TypeDir:
+		return "DIR"
+	case TypeLink:
+		return "LNK"
+	default:
+		return fmt.Sprintf("ftype(%d)", uint32(t))
+	}
+}
+
+// Time is an NFS wire timestamp: seconds and nanoseconds since the epoch.
+type Time struct {
+	Sec  uint64
+	Nsec uint32
+}
+
+// FromGo converts a time.Time to a wire timestamp.
+func FromGo(t time.Time) Time {
+	return Time{Sec: uint64(t.Unix()), Nsec: uint32(t.Nanosecond())}
+}
+
+// Go converts a wire timestamp to a time.Time.
+func (t Time) Go() time.Time { return time.Unix(int64(t.Sec), int64(t.Nsec)) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool {
+	return t.Sec < u.Sec || (t.Sec == u.Sec && t.Nsec < u.Nsec)
+}
+
+// Encode appends the timestamp to e.
+func (t Time) Encode(e *xdr.Encoder) {
+	e.PutUint64(t.Sec)
+	e.PutUint32(t.Nsec)
+}
+
+// DecodeTime reads a timestamp from d.
+func DecodeTime(d *xdr.Decoder) (Time, error) {
+	sec, err := d.Uint64()
+	if err != nil {
+		return Time{}, err
+	}
+	nsec, err := d.Uint32()
+	if err != nil {
+		return Time{}, err
+	}
+	return Time{Sec: sec, Nsec: nsec}, nil
+}
+
+// Attr is the Slice analogue of the NFS V3 fattr3 attribute block.
+type Attr struct {
+	Type   FileType
+	Mode   uint32
+	Nlink  uint32
+	UID    uint32
+	GID    uint32
+	Size   uint64 // file size in bytes
+	Used   uint64 // bytes of storage consumed
+	FileID uint64 // unique file identifier within the volume
+	Atime  Time   // last access
+	Mtime  Time   // last data modification
+	Ctime  Time   // last attribute change
+}
+
+// EncodedSize is the fixed wire size of an Attr in bytes.
+const EncodedSize = 4*5 + 8*3 + 12*3
+
+// Encode appends the attribute block to e.
+func (a *Attr) Encode(e *xdr.Encoder) {
+	e.PutUint32(uint32(a.Type))
+	e.PutUint32(a.Mode)
+	e.PutUint32(a.Nlink)
+	e.PutUint32(a.UID)
+	e.PutUint32(a.GID)
+	e.PutUint64(a.Size)
+	e.PutUint64(a.Used)
+	e.PutUint64(a.FileID)
+	a.Atime.Encode(e)
+	a.Mtime.Encode(e)
+	a.Ctime.Encode(e)
+}
+
+// Decode reads an attribute block from d.
+func (a *Attr) Decode(d *xdr.Decoder) error {
+	t, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	a.Type = FileType(t)
+	if a.Mode, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.Nlink, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.UID, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.GID, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.Size, err = d.Uint64(); err != nil {
+		return err
+	}
+	if a.Used, err = d.Uint64(); err != nil {
+		return err
+	}
+	if a.FileID, err = d.Uint64(); err != nil {
+		return err
+	}
+	if a.Atime, err = DecodeTime(d); err != nil {
+		return err
+	}
+	if a.Mtime, err = DecodeTime(d); err != nil {
+		return err
+	}
+	if a.Ctime, err = DecodeTime(d); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SetAttr describes a partial attribute update (NFS V3 sattr3). Each field
+// applies only when its Set flag is true.
+type SetAttr struct {
+	SetMode  bool
+	Mode     uint32
+	SetUID   bool
+	UID      uint32
+	SetGID   bool
+	GID      uint32
+	SetSize  bool
+	Size     uint64
+	SetAtime bool
+	Atime    Time
+	SetMtime bool
+	Mtime    Time
+}
+
+// Encode appends the partial update to e.
+func (s *SetAttr) Encode(e *xdr.Encoder) {
+	e.PutBool(s.SetMode)
+	if s.SetMode {
+		e.PutUint32(s.Mode)
+	}
+	e.PutBool(s.SetUID)
+	if s.SetUID {
+		e.PutUint32(s.UID)
+	}
+	e.PutBool(s.SetGID)
+	if s.SetGID {
+		e.PutUint32(s.GID)
+	}
+	e.PutBool(s.SetSize)
+	if s.SetSize {
+		e.PutUint64(s.Size)
+	}
+	e.PutBool(s.SetAtime)
+	if s.SetAtime {
+		s.Atime.Encode(e)
+	}
+	e.PutBool(s.SetMtime)
+	if s.SetMtime {
+		s.Mtime.Encode(e)
+	}
+}
+
+// Decode reads a partial update from d.
+func (s *SetAttr) Decode(d *xdr.Decoder) error {
+	var err error
+	if s.SetMode, err = d.Bool(); err != nil {
+		return err
+	}
+	if s.SetMode {
+		if s.Mode, err = d.Uint32(); err != nil {
+			return err
+		}
+	}
+	if s.SetUID, err = d.Bool(); err != nil {
+		return err
+	}
+	if s.SetUID {
+		if s.UID, err = d.Uint32(); err != nil {
+			return err
+		}
+	}
+	if s.SetGID, err = d.Bool(); err != nil {
+		return err
+	}
+	if s.SetGID {
+		if s.GID, err = d.Uint32(); err != nil {
+			return err
+		}
+	}
+	if s.SetSize, err = d.Bool(); err != nil {
+		return err
+	}
+	if s.SetSize {
+		if s.Size, err = d.Uint64(); err != nil {
+			return err
+		}
+	}
+	if s.SetAtime, err = d.Bool(); err != nil {
+		return err
+	}
+	if s.SetAtime {
+		if s.Atime, err = DecodeTime(d); err != nil {
+			return err
+		}
+	}
+	if s.SetMtime, err = d.Bool(); err != nil {
+		return err
+	}
+	if s.SetMtime {
+		if s.Mtime, err = DecodeTime(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply folds the partial update into a, stamping Ctime with now.
+func (s *SetAttr) Apply(a *Attr, now Time) {
+	if s.SetMode {
+		a.Mode = s.Mode
+	}
+	if s.SetUID {
+		a.UID = s.UID
+	}
+	if s.SetGID {
+		a.GID = s.GID
+	}
+	if s.SetSize {
+		a.Size = s.Size
+		a.Mtime = now
+	}
+	if s.SetAtime {
+		a.Atime = s.Atime
+	}
+	if s.SetMtime {
+		a.Mtime = s.Mtime
+	}
+	a.Ctime = now
+}

@@ -1,0 +1,145 @@
+package attr
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"slice/internal/xdr"
+)
+
+func TestAttrRoundTrip(t *testing.T) {
+	a := Attr{
+		Type: TypeReg, Mode: 0o644, Nlink: 3, UID: 10, GID: 20,
+		Size: 123456789, Used: 123460000, FileID: 42,
+		Atime: Time{Sec: 100, Nsec: 1}, Mtime: Time{Sec: 200, Nsec: 2},
+		Ctime: Time{Sec: 300, Nsec: 3},
+	}
+	e := xdr.NewEncoder(EncodedSize)
+	a.Encode(e)
+	if e.Len() != EncodedSize {
+		t.Fatalf("encoded size %d, want %d", e.Len(), EncodedSize)
+	}
+	var b Attr
+	if err := b.Decode(xdr.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("round trip: %+v != %+v", a, b)
+	}
+}
+
+func TestAttrRoundTripProperty(t *testing.T) {
+	f := func(mode, nlink, uid, gid uint32, size, used, id uint64, s1, s2, s3 uint64) bool {
+		a := Attr{
+			Type: TypeDir, Mode: mode, Nlink: nlink, UID: uid, GID: gid,
+			Size: size, Used: used, FileID: id,
+			Atime: Time{Sec: s1}, Mtime: Time{Sec: s2}, Ctime: Time{Sec: s3},
+		}
+		e := xdr.NewEncoder(EncodedSize)
+		a.Encode(e)
+		var b Attr
+		if err := b.Decode(xdr.NewDecoder(e.Bytes())); err != nil {
+			return false
+		}
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAttrRoundTripAllCombinations(t *testing.T) {
+	// Exercise every subset of the six optional fields.
+	for mask := 0; mask < 64; mask++ {
+		s := SetAttr{
+			SetMode: mask&1 != 0, Mode: 0o755,
+			SetUID: mask&2 != 0, UID: 11,
+			SetGID: mask&4 != 0, GID: 22,
+			SetSize: mask&8 != 0, Size: 999,
+			SetAtime: mask&16 != 0, Atime: Time{Sec: 5},
+			SetMtime: mask&32 != 0, Mtime: Time{Sec: 6},
+		}
+		e := xdr.NewEncoder(64)
+		s.Encode(e)
+		var got SetAttr
+		if err := got.Decode(xdr.NewDecoder(e.Bytes())); err != nil {
+			t.Fatalf("mask %d: %v", mask, err)
+		}
+		// Unset fields decode to zero values; normalize before compare.
+		want := s
+		if !want.SetMode {
+			want.Mode = 0
+		}
+		if !want.SetUID {
+			want.UID = 0
+		}
+		if !want.SetGID {
+			want.GID = 0
+		}
+		if !want.SetSize {
+			want.Size = 0
+		}
+		if !want.SetAtime {
+			want.Atime = Time{}
+		}
+		if !want.SetMtime {
+			want.Mtime = Time{}
+		}
+		if got != want {
+			t.Fatalf("mask %d: %+v != %+v", mask, got, want)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := Attr{Mode: 0o644, Size: 100, Mtime: Time{Sec: 1}}
+	now := Time{Sec: 50}
+	s := SetAttr{SetSize: true, Size: 10, SetMode: true, Mode: 0o600}
+	s.Apply(&a, now)
+	if a.Size != 10 || a.Mode != 0o600 {
+		t.Fatalf("apply: %+v", a)
+	}
+	if a.Mtime != now {
+		t.Fatal("size change did not update mtime")
+	}
+	if a.Ctime != now {
+		t.Fatal("apply did not stamp ctime")
+	}
+
+	// Explicit mtime wins over the implicit size-change stamp.
+	s2 := SetAttr{SetSize: true, Size: 5, SetMtime: true, Mtime: Time{Sec: 7}}
+	s2.Apply(&a, Time{Sec: 60})
+	if a.Mtime != (Time{Sec: 7}) {
+		t.Fatalf("explicit mtime not honored: %+v", a.Mtime)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	g := time.Unix(1700000000, 123456789)
+	w := FromGo(g)
+	if w.Sec != 1700000000 || w.Nsec != 123456789 {
+		t.Fatalf("FromGo: %+v", w)
+	}
+	if !w.Go().Equal(g) {
+		t.Fatal("Go() round trip failed")
+	}
+	if !(Time{Sec: 1}).Before(Time{Sec: 2}) {
+		t.Fatal("Before by seconds")
+	}
+	if !(Time{Sec: 1, Nsec: 1}).Before(Time{Sec: 1, Nsec: 2}) {
+		t.Fatal("Before by nanoseconds")
+	}
+	if (Time{Sec: 2}).Before(Time{Sec: 1}) {
+		t.Fatal("Before inverted")
+	}
+}
+
+func TestFileTypeString(t *testing.T) {
+	if TypeReg.String() != "REG" || TypeDir.String() != "DIR" || TypeLink.String() != "LNK" {
+		t.Fatal("file type names")
+	}
+	if FileType(99).String() == "" {
+		t.Fatal("unknown type has empty name")
+	}
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"slice/internal/route"
+	"slice/internal/sim"
+)
+
+// Fig3 regenerates "Directory service scaling": mean untar completion
+// time per client process versus the number of concurrent processes, for
+// the single-server N-MFS baseline and Slice with 1, 2, and 4 directory
+// servers (mkdir switching with p = 1/N; §5 notes name hashing performs
+// identically on this workload).
+func Fig3(w io.Writer) error {
+	header(w, "Figure 3: directory service scaling",
+		"untar, 36,000 files/dirs and ≈250k NFS ops per process (simulated at\n"+
+			"scale 0.05 and rescaled); 5 client nodes; mean completion seconds.")
+
+	procs := []int{1, 2, 4, 8, 16, 24, 32}
+	configs := []struct {
+		name    string
+		servers int
+		base    bool
+	}{
+		{"N-MFS", 1, true},
+		{"Slice-1", 1, false},
+		{"Slice-2", 2, false},
+		{"Slice-4", 4, false},
+	}
+
+	t := newTable(append([]string{"processes"}, names(configs)...)...)
+	for _, p := range procs {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, cfg := range configs {
+			res := sim.RunUntar(sim.UntarConfig{
+				DirServers: cfg.servers,
+				Baseline:   cfg.base,
+				Processes:  p,
+				Kind:       route.MkdirSwitching,
+				P:          1 / float64(cfg.servers),
+			})
+			row = append(row, fmt.Sprintf("%.0fs", res.MeanLatency))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\n  Shape checks: N-MFS wins at 1 process (no journaling) but its single")
+	fmt.Fprintln(w, "  CPU saturates; Slice-N latency stays flat N× longer (each directory")
+	fmt.Fprintln(w, "  server saturates at ≈6000 ops/s) — the crossovers of Figure 3.")
+	return nil
+}
+
+func names(configs []struct {
+	name    string
+	servers int
+	base    bool
+}) []string {
+	out := make([]string, len(configs))
+	for i, c := range configs {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Fig4 regenerates "Impact of affinity for mkdir switching": mean untar
+// completion time versus directory affinity (1-p), for 1, 4, 8, and 16
+// client processes against 4 directory servers on 4 client nodes.
+func Fig4(w io.Writer) error {
+	header(w, "Figure 4: impact of directory affinity (mkdir switching)",
+		"4 directory servers, 4 client nodes; X is the probability 1-p that a\n"+
+			"new directory stays on its parent's server.")
+
+	affinities := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0}
+	procs := []int{1, 4, 8, 16}
+
+	cols := []string{"affinity"}
+	for _, p := range procs {
+		cols = append(cols, fmt.Sprintf("%d proc", p))
+	}
+	t := newTable(cols...)
+	for _, a := range affinities {
+		row := []string{fmt.Sprintf("%.0f%%", a*100)}
+		for _, p := range procs {
+			res := sim.RunUntar(sim.UntarConfig{
+				DirServers:  4,
+				Processes:   p,
+				ClientNodes: 4,
+				Kind:        route.MkdirSwitching,
+				P:           1 - a,
+			})
+			row = append(row, fmt.Sprintf("%.0fs", res.MeanLatency))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\n  Shape checks: light load is flat in affinity; under load, moderate")
+	fmt.Fprintln(w, "  affinity helps slightly (fewer two-site operations) while affinity→100%")
+	fmt.Fprintln(w, "  collapses every subtree onto the root's server and degrades sharply —")
+	fmt.Fprintln(w, "  balanced distributions need <20% of mkdirs redirected (§5).")
+	return nil
+}
+
+// sfsConfigs are the Figure 5/6 lines.
+var sfsConfigs = []struct {
+	name  string
+	nodes int
+	base  bool
+}{
+	{"NFS", 1, true},
+	{"Slice-1", 1, false},
+	{"Slice-2", 2, false},
+	{"Slice-4", 4, false},
+	{"Slice-8", 8, false},
+}
+
+var sfsOffered = []float64{250, 500, 1000, 1500, 2000, 3000, 4000, 5000, 6000, 7000, 8000}
+
+// Fig5 regenerates "SPECsfs97 throughput at saturation": delivered IOPS
+// versus offered load for the NFS baseline and Slice with 1-8 storage
+// nodes (1 directory server, 2 small-file servers).
+func Fig5(w io.Writer) error {
+	header(w, "Figure 5: SPECsfs97 delivered throughput (IOPS)",
+		"Open-loop SPECsfs97 mix; file set self-scales at 10MB per op/s.\n"+
+			"Paper saturation points: NFS ≈850 IOPS; Slice-8 ≈6600 IOPS (64 disks).")
+
+	cols := []string{"offered"}
+	for _, c := range sfsConfigs {
+		cols = append(cols, c.name)
+	}
+	t := newTable(cols...)
+	for _, off := range sfsOffered {
+		row := []string{fmt.Sprintf("%.0f", off)}
+		for _, c := range sfsConfigs {
+			res := sim.RunSfs(sim.SfsConfig{
+				StorageNodes: c.nodes, Baseline: c.base, OfferedIOPS: off,
+			})
+			row = append(row, fmt.Sprintf("%.0f", res.DeliveredIOPS))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\n  Shape checks: every line tracks offered load then plateaus; the")
+	fmt.Fprintln(w, "  baseline saturates ≈850; Slice-1 slightly higher (faster directory")
+	fmt.Fprintln(w, "  ops); Slice saturation scales with storage nodes to ≈6600 at N=8,")
+	fmt.Fprintln(w, "  bound by disk arms — Figure 5's family of curves.")
+	return nil
+}
+
+// Fig6 regenerates "SPECsfs97 latency": mean response time versus
+// delivered throughput for the same configurations, with the latency jump
+// where the ensemble overflows its 1 GB small-file cache. The EMC Celerra
+// 506 reference from spec.org (4Q99) is quoted for context, as in the
+// paper.
+func Fig6(w io.Writer) error {
+	header(w, "Figure 6: SPECsfs97 latency vs delivered throughput",
+		"Mean response time (ms) at each delivered load; the knee where each\n"+
+			"line turns up is its Figure 5 saturation point.")
+
+	for _, c := range sfsConfigs {
+		fmt.Fprintf(w, "  %s:\n", c.name)
+		t := newTable("delivered IOPS", "latency ms", "cache miss factor")
+		for _, off := range sfsOffered {
+			res := sim.RunSfs(sim.SfsConfig{
+				StorageNodes: c.nodes, Baseline: c.base, OfferedIOPS: off,
+			})
+			t.addf("%.0f|%.2f|%.2f", res.DeliveredIOPS, res.MeanLatencyMs, res.MissFactor)
+			if res.DeliveredIOPS < off*0.7 {
+				break // deep in overload; the curve is vertical here
+			}
+		}
+		t.write(w)
+	}
+	fmt.Fprintln(w, "\n  Reference (vendor-reported, spec.org 4Q99): EMC Celerra 506,")
+	fmt.Fprintln(w, "  32 data disks + 4GB cache — better latency and throughput than the")
+	fmt.Fprintln(w, "  nearest Slice configuration (Slice-4/32 disks), but via eight separate")
+	fmt.Fprintln(w, "  volumes; all Slice configurations serve one unified volume (§5).")
+	fmt.Fprintln(w, "  Shape checks: latency flat below saturation, rises past the cache")
+	fmt.Fprintln(w, "  overflow, and turns vertical at each configuration's knee.")
+	return nil
+}

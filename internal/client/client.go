@@ -1,0 +1,411 @@
+// Package client implements the Slice NFS client stack used by the
+// examples, workloads, and tests.
+//
+// The client is deliberately ordinary: it speaks the plain NFS-style
+// protocol to a single (virtual) server address, retransmits on timeout,
+// and knows nothing about the ensemble behind the µproxy — that is the
+// compatibility the interposed architecture preserves (§1). The one
+// concession is mechanical: I/O is split so no single transfer crosses a
+// stripe-unit or threshold boundary, matching how the prototype's 32KB NFS
+// block size aligned with the µproxy's stripe unit.
+package client
+
+import (
+	"fmt"
+
+	"slice/internal/attr"
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/route"
+	"slice/internal/xdr"
+)
+
+// mount protocol constants (shared with dirsrv).
+const (
+	mountProgram = 100005
+	mountVersion = 3
+	mountProcMnt = 1
+)
+
+// Config configures a client.
+type Config struct {
+	// Net is the fabric; Host is this client's host address.
+	Net  *netsim.Network
+	Host uint32
+	// Server is the (virtual) NFS server address.
+	Server netsim.Addr
+	// BlockSize is the maximum bytes per READ/WRITE (default: the stripe
+	// unit).
+	BlockSize uint32
+	// Threshold and StripeUnit are the I/O split boundaries; defaults
+	// match route defaults.
+	Threshold  uint64
+	StripeUnit uint64
+	// RPC tunes timeouts and retries.
+	RPC oncrpc.ClientConfig
+}
+
+// Client is a Slice NFS client bound to one server address.
+type Client struct {
+	cfg  Config
+	rpc  *oncrpc.Client
+	root fhandle.Handle
+}
+
+// New creates a client on the netsim fabric. Call Mount before file
+// operations.
+func New(cfg Config) (*Client, error) {
+	port, err := cfg.Net.BindAny(cfg.Host)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithConn(port, cfg), nil
+}
+
+// NewWithConn creates a client over an existing datagram endpoint — e.g.
+// a udpgate connection to a remote ensemble.
+func NewWithConn(conn oncrpc.Conn, cfg Config) *Client {
+	if cfg.StripeUnit == 0 {
+		cfg.StripeUnit = route.DefaultStripeUnit
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = route.DefaultThreshold
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = uint32(cfg.StripeUnit)
+	}
+	return &Client{
+		cfg: cfg,
+		rpc: oncrpc.NewClient(conn, cfg.Server, cfg.RPC),
+	}
+}
+
+// Close releases the client's port.
+func (c *Client) Close() { c.rpc.Close() }
+
+// Retransmissions exposes the RPC retransmission count for tests.
+func (c *Client) Retransmissions() uint64 { return c.rpc.Retransmissions() }
+
+// call issues one NFS procedure and decodes the reply.
+func (c *Client) call(proc nfsproto.Proc, args nfsproto.Msg, res nfsproto.Msg) error {
+	var enc func(*xdr.Encoder)
+	if args != nil {
+		enc = args.Encode
+	}
+	body, err := c.rpc.Call(nfsproto.Program, nfsproto.Version, uint32(proc), enc)
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return nil
+	}
+	return res.Decode(xdr.NewDecoder(body))
+}
+
+// Mount retrieves the volume root handle.
+func (c *Client) Mount() error {
+	body, err := c.rpc.Call(mountProgram, mountVersion, mountProcMnt, nil)
+	if err != nil {
+		return err
+	}
+	d := xdr.NewDecoder(body)
+	st, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if s := nfsproto.Status(st); s != nfsproto.OK {
+		return fmt.Errorf("client: mount failed: %w", s.Error())
+	}
+	c.root, err = fhandle.Decode(d)
+	return err
+}
+
+// Root returns the mounted volume root.
+func (c *Client) Root() fhandle.Handle { return c.root }
+
+// Null issues the NULL procedure (a ping).
+func (c *Client) Null() error {
+	_, err := c.rpc.Call(nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcNull), nil)
+	return err
+}
+
+// GetAttr fetches the attributes of fh.
+func (c *Client) GetAttr(fh fhandle.Handle) (attr.Attr, error) {
+	var res nfsproto.GetAttrRes
+	if err := c.call(nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: fh}, &res); err != nil {
+		return attr.Attr{}, err
+	}
+	return res.Attr, res.Status.Error()
+}
+
+// SetAttr applies a partial attribute update.
+func (c *Client) SetAttr(fh fhandle.Handle, sa attr.SetAttr) (attr.Attr, error) {
+	var res nfsproto.SetAttrRes
+	if err := c.call(nfsproto.ProcSetAttr, &nfsproto.SetAttrArgs{FH: fh, Sattr: sa}, &res); err != nil {
+		return attr.Attr{}, err
+	}
+	return res.Attr.Attr, res.Status.Error()
+}
+
+// Truncate sets the file size.
+func (c *Client) Truncate(fh fhandle.Handle, size uint64) error {
+	_, err := c.SetAttr(fh, attr.SetAttr{SetSize: true, Size: size})
+	return err
+}
+
+// Access checks permissions (the prototype grants all requested bits).
+func (c *Client) Access(fh fhandle.Handle, mask uint32) (uint32, error) {
+	var res nfsproto.AccessRes
+	if err := c.call(nfsproto.ProcAccess, &nfsproto.AccessArgs{FH: fh, Access: mask}, &res); err != nil {
+		return 0, err
+	}
+	return res.Access, res.Status.Error()
+}
+
+// Lookup resolves name within dir.
+func (c *Client) Lookup(dir fhandle.Handle, name string) (fhandle.Handle, attr.Attr, error) {
+	var res nfsproto.LookupRes
+	if err := c.call(nfsproto.ProcLookup, &nfsproto.LookupArgs{Dir: dir, Name: name}, &res); err != nil {
+		return fhandle.Handle{}, attr.Attr{}, err
+	}
+	return res.FH, res.Attr.Attr, res.Status.Error()
+}
+
+// Create makes a regular file.
+func (c *Client) Create(dir fhandle.Handle, name string, mode uint32, exclusive bool) (fhandle.Handle, attr.Attr, error) {
+	args := nfsproto.CreateArgs{
+		Dir: dir, Name: name, Exclusive: exclusive,
+		Sattr: attr.SetAttr{SetMode: true, Mode: mode},
+	}
+	var res nfsproto.CreateRes
+	if err := c.call(nfsproto.ProcCreate, &args, &res); err != nil {
+		return fhandle.Handle{}, attr.Attr{}, err
+	}
+	return res.FH, res.Attr.Attr, res.Status.Error()
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(dir fhandle.Handle, name string, mode uint32) (fhandle.Handle, attr.Attr, error) {
+	args := nfsproto.CreateArgs{
+		Dir: dir, Name: name,
+		Sattr: attr.SetAttr{SetMode: true, Mode: mode},
+	}
+	var res nfsproto.CreateRes
+	if err := c.call(nfsproto.ProcMkdir, &args, &res); err != nil {
+		return fhandle.Handle{}, attr.Attr{}, err
+	}
+	return res.FH, res.Attr.Attr, res.Status.Error()
+}
+
+// Remove unlinks a file.
+func (c *Client) Remove(dir fhandle.Handle, name string) error {
+	var res nfsproto.RemoveRes
+	if err := c.call(nfsproto.ProcRemove, &nfsproto.RemoveArgs{Dir: dir, Name: name}, &res); err != nil {
+		return err
+	}
+	return res.Status.Error()
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(dir fhandle.Handle, name string) error {
+	var res nfsproto.RemoveRes
+	if err := c.call(nfsproto.ProcRmdir, &nfsproto.RemoveArgs{Dir: dir, Name: name}, &res); err != nil {
+		return err
+	}
+	return res.Status.Error()
+}
+
+// Rename moves an entry.
+func (c *Client) Rename(fromDir fhandle.Handle, fromName string, toDir fhandle.Handle, toName string) error {
+	args := nfsproto.RenameArgs{FromDir: fromDir, FromName: fromName, ToDir: toDir, ToName: toName}
+	var res nfsproto.RenameRes
+	if err := c.call(nfsproto.ProcRename, &args, &res); err != nil {
+		return err
+	}
+	return res.Status.Error()
+}
+
+// Link creates a hard link to fh named name in dir.
+func (c *Client) Link(fh, dir fhandle.Handle, name string) error {
+	var res nfsproto.LinkRes
+	if err := c.call(nfsproto.ProcLink, &nfsproto.LinkArgs{FH: fh, Dir: dir, Name: name}, &res); err != nil {
+		return err
+	}
+	return res.Status.Error()
+}
+
+// ReadDir returns all entries of dir, following cookies.
+func (c *Client) ReadDir(dir fhandle.Handle) ([]nfsproto.DirEntry, error) {
+	var out []nfsproto.DirEntry
+	var cookie uint64
+	for {
+		var res nfsproto.ReadDirRes
+		err := c.call(nfsproto.ProcReadDir, &nfsproto.ReadDirArgs{
+			Dir: dir, Cookie: cookie, Count: 32 * 1024,
+		}, &res)
+		if err != nil {
+			return out, err
+		}
+		if res.Status != nfsproto.OK {
+			return out, res.Status.Error()
+		}
+		out = append(out, res.Entries...)
+		if res.EOF || len(res.Entries) == 0 {
+			return out, nil
+		}
+		cookie = res.Entries[len(res.Entries)-1].Cookie
+	}
+}
+
+// FsStat returns volume statistics.
+func (c *Client) FsStat(fh fhandle.Handle) (nfsproto.FsStatRes, error) {
+	var res nfsproto.FsStatRes
+	if err := c.call(nfsproto.ProcFsStat, &nfsproto.FsStatArgs{FH: fh}, &res); err != nil {
+		return res, err
+	}
+	return res, res.Status.Error()
+}
+
+// chunkEnd returns the end of the I/O chunk starting at off: transfers
+// never cross a stripe-unit or threshold boundary, and never exceed the
+// block size.
+func (c *Client) chunkEnd(off uint64) uint64 {
+	end := off + uint64(c.cfg.BlockSize)
+	if b := (off/c.cfg.StripeUnit + 1) * c.cfg.StripeUnit; b < end {
+		end = b
+	}
+	if off < c.cfg.Threshold && c.cfg.Threshold < end {
+		end = c.cfg.Threshold
+	}
+	return end
+}
+
+// Read fills p from fh starting at off. It returns the bytes read and
+// whether end of file was reached.
+func (c *Client) Read(fh fhandle.Handle, off uint64, p []byte) (int, bool, error) {
+	read := 0
+	for read < len(p) {
+		cur := off + uint64(read)
+		end := c.chunkEnd(cur)
+		want := uint32(end - cur)
+		if rem := uint32(len(p) - read); rem < want {
+			want = rem
+		}
+		var res nfsproto.ReadRes
+		err := c.call(nfsproto.ProcRead, &nfsproto.ReadArgs{FH: fh, Offset: cur, Count: want}, &res)
+		if err != nil {
+			return read, false, err
+		}
+		if res.Status != nfsproto.OK {
+			return read, false, res.Status.Error()
+		}
+		n := copy(p[read:], res.Data)
+		read += n
+		if res.EOF || n == 0 {
+			return read, true, nil
+		}
+	}
+	return read, false, nil
+}
+
+// Write stores p at off. stable selects FILE_SYNC semantics per chunk.
+func (c *Client) Write(fh fhandle.Handle, off uint64, p []byte, stable bool) (int, error) {
+	written := 0
+	stability := uint32(nfsproto.Unstable)
+	if stable {
+		stability = nfsproto.FileSync
+	}
+	for written < len(p) {
+		cur := off + uint64(written)
+		end := c.chunkEnd(cur)
+		want := int(end - cur)
+		if rem := len(p) - written; rem < want {
+			want = rem
+		}
+		args := nfsproto.WriteArgs{
+			FH: fh, Offset: cur, Count: uint32(want),
+			Stable: stability, Data: p[written : written+want],
+		}
+		var res nfsproto.WriteRes
+		if err := c.call(nfsproto.ProcWrite, &args, &res); err != nil {
+			return written, err
+		}
+		if res.Status != nfsproto.OK {
+			return written, res.Status.Error()
+		}
+		written += int(res.Count)
+		if res.Count == 0 {
+			return written, fmt.Errorf("client: zero-length write progress at offset %d", cur)
+		}
+	}
+	return written, nil
+}
+
+// Commit flushes unstable writes on fh and returns the write verifier.
+func (c *Client) Commit(fh fhandle.Handle) (uint64, error) {
+	var res nfsproto.CommitRes
+	if err := c.call(nfsproto.ProcCommit, &nfsproto.CommitArgs{FH: fh}, &res); err != nil {
+		return 0, err
+	}
+	return res.Verf, res.Status.Error()
+}
+
+// ReadAll reads the whole file, sizing the buffer from GETATTR.
+func (c *Client) ReadAll(fh fhandle.Handle) ([]byte, error) {
+	at, err := c.GetAttr(fh)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, at.Size)
+	n, _, err := c.Read(fh, 0, buf)
+	return buf[:n], err
+}
+
+// WriteFile writes data at offset 0 and commits it.
+func (c *Client) WriteFile(fh fhandle.Handle, data []byte) error {
+	if _, err := c.Write(fh, 0, data, false); err != nil {
+		return err
+	}
+	_, err := c.Commit(fh)
+	return err
+}
+
+// MkdirAll walks/creates the path components under base and returns the
+// final directory handle.
+func (c *Client) MkdirAll(base fhandle.Handle, parts ...string) (fhandle.Handle, error) {
+	cur := base
+	for _, part := range parts {
+		fh, _, err := c.Mkdir(cur, part, 0o755)
+		if err != nil {
+			if nfsproto.StatusOf(err) == nfsproto.ErrExist {
+				fh, _, err = c.Lookup(cur, part)
+			}
+			if err != nil {
+				return fhandle.Handle{}, err
+			}
+		}
+		cur = fh
+	}
+	return cur, nil
+}
+
+// Symlink creates a symbolic link named name in dir pointing at target.
+func (c *Client) Symlink(dir fhandle.Handle, name, target string) (fhandle.Handle, attr.Attr, error) {
+	args := nfsproto.SymlinkArgs{Dir: dir, Name: name, Target: target}
+	var res nfsproto.CreateRes
+	if err := c.call(nfsproto.ProcSymlink, &args, &res); err != nil {
+		return fhandle.Handle{}, attr.Attr{}, err
+	}
+	return res.FH, res.Attr.Attr, res.Status.Error()
+}
+
+// ReadLink returns a symbolic link's target path.
+func (c *Client) ReadLink(fh fhandle.Handle) (string, error) {
+	var res nfsproto.ReadLinkRes
+	if err := c.call(nfsproto.ProcReadLink, &nfsproto.ReadLinkArgs{FH: fh}, &res); err != nil {
+		return "", err
+	}
+	return res.Target, res.Status.Error()
+}

@@ -1,0 +1,166 @@
+package client_test
+
+import (
+	"bytes"
+	"testing"
+
+	"slice/internal/client"
+	"slice/internal/ensemble"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/route"
+	"slice/internal/server"
+)
+
+// The client is exercised heavily through ensemble/workload tests; these
+// tests cover client-specific behaviour: I/O splitting at policy
+// boundaries, retransmission accounting, and error mapping.
+
+func TestChunkingNeverCrossesBoundaries(t *testing.T) {
+	// Drive a client against the baseline server and verify with a large
+	// unaligned write+read: correctness implies splitting worked; the
+	// sizes below are chosen to straddle both the 64KB threshold and
+	// many 32KB stripe-unit boundaries at odd offsets.
+	net := netsim.New(netsim.Config{})
+	port, err := net.Bind(netsim.Addr{Host: 2, Port: 2049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(port, 1, nil)
+	defer srv.Close()
+	c, err := client.New(client.Config{Net: net, Host: 100, Server: srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Mount(); err != nil {
+		t.Fatal(err)
+	}
+	fh, _, err := c.Create(c.Root(), "odd", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 200*1024+13)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	const off = 61*1024 + 5 // straddles the threshold mid-chunk
+	if _, err := c.Write(fh, off, data, false); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	n, _, err := c.Read(fh, off, got)
+	if err != nil || n != len(data) {
+		t.Fatalf("read %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("unaligned round trip mismatch")
+	}
+}
+
+func TestRetransmissionCounting(t *testing.T) {
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: 2, DirServers: 1, SmallFileServers: 1,
+		Coordinator: true, NameKind: route.MkdirSwitching,
+		Net: netsim.Config{LossRate: 0.15, Seed: 21},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if _, _, err := c.Create(c.Root(), string(rune('a'+i)), 0o644, true); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	if c.Retransmissions() == 0 {
+		t.Fatal("no retransmissions recorded under 15% loss")
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: 1, DirServers: 1, SmallFileServers: 1,
+		Coordinator: false, NameKind: route.MkdirSwitching,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Lookup(c.Root(), "ghost")
+	if nfsproto.StatusOf(err) != nfsproto.ErrNoEnt {
+		t.Fatalf("lookup ghost: %v", err)
+	}
+	if _, _, err := c.Create(c.Root(), "dup", 0o644, true); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.Create(c.Root(), "dup", 0o644, true)
+	if nfsproto.StatusOf(err) != nfsproto.ErrExist {
+		t.Fatalf("dup create: %v", err)
+	}
+	err = c.Rmdir(c.Root(), "dup")
+	if nfsproto.StatusOf(err) != nfsproto.ErrNotDir {
+		t.Fatalf("rmdir of file: %v", err)
+	}
+}
+
+func TestMkdirAllIdempotent(t *testing.T) {
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: 1, DirServers: 2, SmallFileServers: 1,
+		Coordinator: false, NameKind: route.MkdirSwitching, MkdirP: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	d1, err := c.MkdirAll(c.Root(), "x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.MkdirAll(c.Root(), "x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Ident() != d2.Ident() {
+		t.Fatal("second MkdirAll resolved a different directory")
+	}
+}
+
+func TestReadAllEmptyFile(t *testing.T) {
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: 1, DirServers: 1, SmallFileServers: 1,
+		Coordinator: false, NameKind: route.MkdirSwitching,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fh, _, err := c.Create(c.Root(), "empty", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.ReadAll(fh)
+	if err != nil || len(data) != 0 {
+		t.Fatalf("empty read: %d bytes, %v", len(data), err)
+	}
+}

@@ -1,0 +1,293 @@
+package dirsrv
+
+import (
+	"slice/internal/attr"
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/xdr"
+)
+
+// PeerProgram is the RPC program number of the directory server peer-peer
+// protocol (§4.3): link-count updates for cross-site create/link/remove and
+// mkdir/rmdir, and cross-site traversal for lookup, getattr/setattr and
+// readdir.
+const (
+	PeerProgram = 200201
+	PeerVersion = 1
+)
+
+// Peer procedures.
+const (
+	peerGetAttr       = 1
+	peerSetAttr       = 2
+	peerInsertEntry   = 3
+	peerRemoveEntry   = 4
+	peerTouchDir      = 5
+	peerRemoveDirCell = 6
+	peerListDir       = 7
+	peerCountDir      = 8
+	peerLinkDelta     = 9
+)
+
+// peerClient returns (creating if needed) an RPC client to the directory
+// server at addr.
+func (s *Server) peerClient(a netsim.Addr) (*oncrpc.Client, error) {
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
+	if c, ok := s.peers[a]; ok {
+		return c, nil
+	}
+	port, err := s.net.BindAny(s.host)
+	if err != nil {
+		return nil, err
+	}
+	c := oncrpc.NewClient(port, a, oncrpc.ClientConfig{})
+	s.peers[a] = c
+	return c, nil
+}
+
+// peerCall issues a peer procedure to the given logical site and decodes
+// the leading status word of the reply; decodeRest (optional) consumes the
+// remainder. The server must NOT hold s.mu across this call.
+func (s *Server) peerCall(site uint32, proc uint32, args func(*xdr.Encoder),
+	decodeRest func(*xdr.Decoder) error) (nfsproto.Status, error) {
+
+	a, err := s.table.Lookup(site)
+	if err != nil {
+		return nfsproto.ErrServerFault, err
+	}
+	c, err := s.peerClient(a)
+	if err != nil {
+		return nfsproto.ErrServerFault, err
+	}
+	s.addCounter(func(ct *Counters) { ct.PeerCalls++ })
+	body, err := c.Call(PeerProgram, PeerVersion, proc, args)
+	if err != nil {
+		return nfsproto.ErrServerFault, err
+	}
+	d := xdr.NewDecoder(body)
+	st, err := d.Uint32()
+	if err != nil {
+		return nfsproto.ErrServerFault, err
+	}
+	status := nfsproto.Status(st)
+	if status == nfsproto.OK && decodeRest != nil {
+		if err := decodeRest(d); err != nil {
+			return nfsproto.ErrServerFault, err
+		}
+	}
+	return status, nil
+}
+
+// servePeer handles inbound peer-protocol calls. Peer handlers perform
+// purely local mutations (they never call out to other sites), which keeps
+// the peer protocol acyclic and deadlock-free.
+func (s *Server) servePeer(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
+	s.addCounter(func(ct *Counters) { ct.PeerServed++ })
+	d := xdr.NewDecoder(call.Body)
+	switch call.Proc {
+	case peerGetAttr:
+		key, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st, at := s.localGetAttrByKey(key)
+		return func(e *xdr.Encoder) {
+			e.PutUint32(uint32(st))
+			if st == nfsproto.OK {
+				at.Encode(e)
+			}
+		}, oncrpc.AcceptSuccess
+
+	case peerSetAttr:
+		key, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		var sa attr.SetAttr
+		if err := sa.Decode(d); err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st, at := s.localSetAttrByKey(key, &sa)
+		return func(e *xdr.Encoder) {
+			e.PutUint32(uint32(st))
+			if st == nfsproto.OK {
+				at.Encode(e)
+			}
+		}, oncrpc.AcceptSuccess
+
+	case peerInsertEntry:
+		parent, name, child, err := decodeEntryRecord(call.Body)
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st := s.localInsertEntry(parent, name, child, true)
+		return statusOnly(st), oncrpc.AcceptSuccess
+
+	case peerRemoveEntry:
+		parent, err := fhandle.Decode(d)
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		name, err := d.String()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st, child := s.localRemoveEntry(parent, name, true)
+		return func(e *xdr.Encoder) {
+			e.PutUint32(uint32(st))
+			if st == nfsproto.OK {
+				child.Encode(e)
+			}
+		}, oncrpc.AcceptSuccess
+
+	case peerTouchDir:
+		key, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		delta, err := d.Int32()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st := s.localTouchDir(key, delta)
+		return statusOnly(st), oncrpc.AcceptSuccess
+
+	case peerRemoveDirCell:
+		child, err := fhandle.Decode(d)
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st := s.localRemoveDirCell(child, true)
+		return statusOnly(st), oncrpc.AcceptSuccess
+
+	case peerListDir:
+		parent, err := fhandle.Decode(d)
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		ents := s.localListDir(parent.Ident())
+		return func(e *xdr.Encoder) {
+			e.PutUint32(uint32(nfsproto.OK))
+			e.PutUint32(uint32(len(ents)))
+			for _, ent := range ents {
+				e.PutUint64(ent.child.FileID)
+				e.PutString(ent.name)
+				ent.child.Encode(e)
+			}
+		}, oncrpc.AcceptSuccess
+
+	case peerCountDir:
+		parent, err := fhandle.Decode(d)
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		n := len(s.localListDir(parent.Ident()))
+		return func(e *xdr.Encoder) {
+			e.PutUint32(uint32(nfsproto.OK))
+			e.PutUint32(uint32(n))
+		}, oncrpc.AcceptSuccess
+
+	case peerLinkDelta:
+		key, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		delta, err := d.Int32()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st, nlink := s.localLinkDelta(key, delta)
+		return func(e *xdr.Encoder) {
+			e.PutUint32(uint32(st))
+			if st == nfsproto.OK {
+				e.PutUint32(nlink)
+			}
+		}, oncrpc.AcceptSuccess
+
+	default:
+		return nil, oncrpc.AcceptProcUnavail
+	}
+}
+
+func statusOnly(st nfsproto.Status) func(*xdr.Encoder) {
+	return func(e *xdr.Encoder) { e.PutUint32(uint32(st)) }
+}
+
+// remoteEntry is a directory entry fetched from a peer via ListDir.
+type remoteEntry struct {
+	name  string
+	child fhandle.Handle
+}
+
+// peerFetchEntries retrieves all entries of parent resident at site.
+func (s *Server) peerFetchEntries(site uint32, parent fhandle.Handle) ([]remoteEntry, error) {
+	var out []remoteEntry
+	st, err := s.peerCall(site, peerListDir,
+		func(e *xdr.Encoder) { parent.Encode(e) },
+		func(d *xdr.Decoder) error {
+			n, err := d.Uint32()
+			if err != nil {
+				return err
+			}
+			if err := xdr.CheckLen(n, 1<<20); err != nil {
+				return err
+			}
+			out = make([]remoteEntry, 0, n)
+			for i := uint32(0); i < n; i++ {
+				if _, err := d.Uint64(); err != nil { // fileID (redundant)
+					return err
+				}
+				name, err := d.String()
+				if err != nil {
+					return err
+				}
+				child, err := fhandle.Decode(d)
+				if err != nil {
+					return err
+				}
+				out = append(out, remoteEntry{name: name, child: child})
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if st != nfsproto.OK {
+		return nil, st.Error()
+	}
+	return out, nil
+}
+
+// peerCountEntries returns how many entries of parent reside at site.
+func (s *Server) peerCountEntries(site uint32, parent fhandle.Handle) (int, error) {
+	var count uint32
+	st, err := s.peerCall(site, peerCountDir,
+		func(e *xdr.Encoder) { parent.Encode(e) },
+		func(d *xdr.Decoder) error {
+			var err error
+			count, err = d.Uint32()
+			return err
+		})
+	if err != nil {
+		return 0, err
+	}
+	if st != nfsproto.OK {
+		return 0, st.Error()
+	}
+	return int(count), nil
+}
+
+// peerGetAttrByKey fetches the attribute cell for key from site.
+func (s *Server) peerGetAttrByKey(site uint32, key uint64) (nfsproto.Status, attr.Attr) {
+	var at attr.Attr
+	st, err := s.peerCall(site, peerGetAttr,
+		func(e *xdr.Encoder) { e.PutUint64(key) },
+		func(d *xdr.Decoder) error { return at.Decode(d) })
+	if err != nil {
+		return nfsproto.ErrServerFault, at
+	}
+	return st, at
+}

@@ -1,0 +1,465 @@
+package dirsrv
+
+import (
+	"sync"
+
+	"slice/internal/attr"
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/route"
+	"slice/internal/wal"
+	"slice/internal/xdr"
+)
+
+// MountProgram is the RPC program returning the root file handle of a
+// volume, the analogue of the NFS MOUNT protocol.
+const (
+	MountProgram = 100005
+	MountVersion = 3
+	MountProcMnt = 1
+)
+
+// Config configures a directory server.
+type Config struct {
+	// Site is this server's logical site ID.
+	Site uint32
+	// Volume is the volume this server participates in.
+	Volume uint32
+	// Kind selects the name-space policy the ensemble runs; it affects
+	// how this server resolves cross-site structures (readdir, rmdir).
+	Kind route.NameKind
+	// Table maps logical directory sites to physical servers, for peer
+	// calls.
+	Table *route.Table
+	// Log is the server's write-ahead journal.
+	Log *wal.Log
+	// Net is the fabric, used to bind peer-client ports.
+	Net *netsim.Network
+	// Host is this server's host address for peer-client ports.
+	Host uint32
+	// Clock supplies timestamps; nil uses the wall clock.
+	Clock func() attr.Time
+	// MirrorDegree, when >1, stamps newly minted regular-file handles
+	// with mirrored-striping hints (per-file placement policy, §3.1).
+	MirrorDegree uint8
+	// UseMaps stamps newly minted regular-file handles with the
+	// block-map hint, directing the µproxy to coordinator-managed
+	// placement instead of the static striping function.
+	UseMaps bool
+}
+
+// Server is one Slice directory server site.
+type Server struct {
+	site   uint32
+	vol    uint32
+	kind   route.NameKind
+	table  *route.Table
+	net    *netsim.Network
+	host   uint32
+	clock  func() attr.Time
+	mirror uint8
+	maps   bool
+
+	mu     sync.Mutex
+	st     *state
+	log    *wal.Log
+	rootFH fhandle.Handle
+	ct     Counters
+
+	peersMu sync.Mutex
+	peers   map[netsim.Addr]*oncrpc.Client
+
+	srv *oncrpc.Server
+}
+
+// New starts a directory server on the given service port.
+func New(port *netsim.Port, cfg Config) *Server {
+	s := &Server{
+		site:   cfg.Site,
+		vol:    cfg.Volume,
+		kind:   cfg.Kind,
+		table:  cfg.Table,
+		net:    cfg.Net,
+		host:   cfg.Host,
+		clock:  cfg.Clock,
+		mirror: cfg.MirrorDegree,
+		maps:   cfg.UseMaps,
+		st:     newState(),
+		log:    cfg.Log,
+		peers:  make(map[netsim.Addr]*oncrpc.Client),
+	}
+	s.srv = oncrpc.NewServer(port, oncrpc.HandlerFunc(s.serve))
+	return s
+}
+
+// Site returns the server's logical site ID.
+func (s *Server) Site() uint32 { return s.site }
+
+// Addr returns the server's service address.
+func (s *Server) Addr() netsim.Addr { return s.srv.Addr() }
+
+// Log returns the server's journal (for stats and failover tests).
+func (s *Server) Log() *wal.Log { return s.log }
+
+// Counters returns a snapshot of the server's activity counters.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ct
+}
+
+func (s *Server) addCounter(f func(*Counters)) {
+	s.mu.Lock()
+	f(&s.ct)
+	s.mu.Unlock()
+}
+
+// Close shuts the server down.
+func (s *Server) Close() {
+	s.srv.Close()
+	s.peersMu.Lock()
+	for _, c := range s.peers {
+		c.Close()
+	}
+	s.peersMu.Unlock()
+}
+
+// CreateRoot mints the volume root directory. The ensemble calls it once,
+// on the site that owns the root.
+func (s *Server) CreateRoot() (fhandle.Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.rootFH.IsZero() {
+		return s.rootFH, nil
+	}
+	now := s.now()
+	fh := s.mintLocked(uint8(attr.TypeDir))
+	cell := &attrCell{fh: fh, at: attr.Attr{
+		Type: attr.TypeDir, Mode: 0o755, Nlink: 2,
+		FileID: fh.FileID, Atime: now, Mtime: now, Ctime: now,
+	}}
+	s.st.attrs[fh.FileID] = cell
+	s.rootFH = fh
+	if _, err := s.log.AppendSync(recNewCell, encodeCellRecord(fh, &cell.at)); err != nil {
+		return fhandle.Handle{}, err
+	}
+	return fh, nil
+}
+
+// SetRoot installs an existing root handle (on non-owner sites, so they
+// can serve MOUNT too).
+func (s *Server) SetRoot(fh fhandle.Handle) {
+	s.mu.Lock()
+	s.rootFH = fh
+	s.mu.Unlock()
+}
+
+// mintLocked allocates a fresh file handle owned by this site. Regular
+// files carry the ensemble's per-file placement hints (mirroring, block
+// maps) so the µproxy can route their I/O without extra state (§3.1).
+func (s *Server) mintLocked(ftype uint8) fhandle.Handle {
+	s.st.nextID++
+	seq := s.st.nextID
+	fh := fhandle.Handle{
+		Volume:  s.vol,
+		FileID:  uint64(s.site+1)<<40 | seq,
+		Type:    ftype,
+		CellKey: uint64(s.site+1)<<40 | seq,
+		Site:    s.site,
+		Gen:     1,
+	}
+	if ftype == uint8(attr.TypeReg) {
+		if s.mirror > 1 {
+			fh.MirrorDegree = s.mirror
+			fh.Flags |= fhandle.FlagMirrored
+		}
+		if s.maps {
+			fh.Flags |= fhandle.FlagMapped
+		}
+	}
+	return fh
+}
+
+// serve dispatches RPC calls by program.
+func (s *Server) serve(call oncrpc.Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+	switch call.Program {
+	case nfsproto.Program:
+		return s.serveNFS(call)
+	case PeerProgram:
+		return s.servePeer(call)
+	case MountProgram:
+		return s.serveMount(call)
+	default:
+		return nil, oncrpc.AcceptProgUnavail
+	}
+}
+
+func (s *Server) serveMount(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
+	if call.Proc != MountProcMnt {
+		return nil, oncrpc.AcceptProcUnavail
+	}
+	s.mu.Lock()
+	fh := s.rootFH
+	s.mu.Unlock()
+	return func(e *xdr.Encoder) {
+		if fh.IsZero() {
+			e.PutUint32(uint32(nfsproto.ErrNoEnt))
+			return
+		}
+		e.PutUint32(uint32(nfsproto.OK))
+		fh.Encode(e)
+	}, oncrpc.AcceptSuccess
+}
+
+func (s *Server) serveNFS(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
+	s.addCounter(func(ct *Counters) { ct.Ops++ })
+	d := xdr.NewDecoder(call.Body)
+	switch nfsproto.Proc(call.Proc) {
+	case nfsproto.ProcNull:
+		return func(e *xdr.Encoder) {}, oncrpc.AcceptSuccess
+	case nfsproto.ProcGetAttr:
+		var a nfsproto.GetAttrArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.getattr(&a) })
+	case nfsproto.ProcSetAttr:
+		var a nfsproto.SetAttrArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.setattr(&a) })
+	case nfsproto.ProcLookup:
+		var a nfsproto.LookupArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.lookup(&a) })
+	case nfsproto.ProcAccess:
+		var a nfsproto.AccessArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.access(&a) })
+	case nfsproto.ProcCreate:
+		var a nfsproto.CreateArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.create(&a) })
+	case nfsproto.ProcSymlink:
+		var a nfsproto.SymlinkArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.symlink(&a) })
+	case nfsproto.ProcReadLink:
+		var a nfsproto.ReadLinkArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.readlink(&a) })
+	case nfsproto.ProcMkdir:
+		var a nfsproto.CreateArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.mkdir(&a) })
+	case nfsproto.ProcRemove:
+		var a nfsproto.RemoveArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.remove(&a) })
+	case nfsproto.ProcRmdir:
+		var a nfsproto.RemoveArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.rmdir(&a) })
+	case nfsproto.ProcRename:
+		var a nfsproto.RenameArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.rename(&a) })
+	case nfsproto.ProcLink:
+		var a nfsproto.LinkArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.link(&a) })
+	case nfsproto.ProcReadDir:
+		var a nfsproto.ReadDirArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.readdir(&a) })
+	case nfsproto.ProcFsStat:
+		var a nfsproto.FsStatArgs
+		return decodeAndRun(d, &a, func() nfsproto.Msg { return s.fsstat(&a) })
+	default:
+		return nil, oncrpc.AcceptProcUnavail
+	}
+}
+
+func decodeAndRun(d *xdr.Decoder, args nfsproto.Msg, run func() nfsproto.Msg) (func(*xdr.Encoder), uint32) {
+	if err := args.Decode(d); err != nil {
+		return nil, oncrpc.AcceptGarbageArgs
+	}
+	res := run()
+	return res.Encode, oncrpc.AcceptSuccess
+}
+
+// dirSites returns the number of logical directory sites.
+func (s *Server) dirSites() int {
+	n := s.table.NumLogical()
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ownsHandle reports whether fh's attribute cell should live here.
+func (s *Server) ownsHandle(fh fhandle.Handle) bool {
+	return fh.Site%uint32(s.dirSites()) == s.site
+}
+
+// --------------------------------------------------------- local helpers
+//
+// local* methods implement single-site mutations. They take s.mu, journal
+// the mutation, and return NFS statuses. They never call peers, so peer
+// handlers built on them are leaves of the call graph.
+
+func (s *Server) localGetAttrByKey(key uint64) (nfsproto.Status, attr.Attr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.st.attrs[key]
+	if c == nil {
+		return nfsproto.ErrStale, attr.Attr{}
+	}
+	return nfsproto.OK, c.at
+}
+
+func (s *Server) localSetAttrByKey(key uint64, sa *attr.SetAttr) (nfsproto.Status, attr.Attr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.st.attrs[key]
+	if c == nil {
+		return nfsproto.ErrStale, attr.Attr{}
+	}
+	sa.Apply(&c.at, s.now())
+	if _, err := s.log.AppendSync(recSetAttr, encodeCellRecord(c.fh, &c.at)); err != nil {
+		return nfsproto.ErrIO, attr.Attr{}
+	}
+	return nfsproto.OK, c.at
+}
+
+// localInsertEntry inserts a name entry (and, for directory children,
+// bumps the parent link count). touchParent updates the parent cell if it
+// is resident.
+func (s *Server) localInsertEntry(parent fhandle.Handle, name string, child fhandle.Handle, touchParent bool) nfsproto.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st.findEntry(parent, name) != nil {
+		return nfsproto.ErrExist
+	}
+	if touchParent {
+		if pc := s.st.attrs[parent.FileID]; pc != nil {
+			now := s.now()
+			pc.at.Mtime = now
+			pc.at.Ctime = now
+			if child.Type == uint8(attr.TypeDir) {
+				pc.at.Nlink++
+			}
+			if _, err := s.log.Append(recTouch, encodeCellRecord(pc.fh, &pc.at)); err != nil {
+				return nfsproto.ErrIO
+			}
+		} else if s.ownsHandle(parent) {
+			// The parent should be here but its cell is gone: it was
+			// removed concurrently.
+			return nfsproto.ErrStale
+		}
+	}
+	c := &nameCell{parent: parent.Ident(), name: name, child: child}
+	s.st.insertEntry(c)
+	if _, err := s.log.AppendSync(recInsert, encodeEntryRecord(parent, name, child)); err != nil {
+		return nfsproto.ErrIO
+	}
+	return nfsproto.OK
+}
+
+// localRemoveEntry removes a name entry and returns the child handle.
+func (s *Server) localRemoveEntry(parent fhandle.Handle, name string, touchParent bool) (nfsproto.Status, fhandle.Handle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.st.removeEntry(parent, name)
+	if c == nil {
+		return nfsproto.ErrNoEnt, fhandle.Handle{}
+	}
+	if touchParent {
+		if pc := s.st.attrs[parent.FileID]; pc != nil {
+			now := s.now()
+			pc.at.Mtime = now
+			pc.at.Ctime = now
+			if c.child.Type == uint8(attr.TypeDir) && pc.at.Nlink > 2 {
+				pc.at.Nlink--
+			}
+			if _, err := s.log.Append(recTouch, encodeCellRecord(pc.fh, &pc.at)); err != nil {
+				return nfsproto.ErrIO, fhandle.Handle{}
+			}
+		}
+	}
+	if _, err := s.log.AppendSync(recRemove, encodeEntryRecord(parent, name, c.child)); err != nil {
+		return nfsproto.ErrIO, fhandle.Handle{}
+	}
+	return nfsproto.OK, c.child
+}
+
+// localTouchDir updates a resident directory cell's mtime and link count.
+func (s *Server) localTouchDir(key uint64, nlinkDelta int32) nfsproto.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.st.attrs[key]
+	if c == nil {
+		return nfsproto.ErrStale
+	}
+	now := s.now()
+	c.at.Mtime = now
+	c.at.Ctime = now
+	newNlink := int64(c.at.Nlink) + int64(nlinkDelta)
+	if newNlink < 0 {
+		newNlink = 0
+	}
+	c.at.Nlink = uint32(newNlink)
+	if _, err := s.log.AppendSync(recTouch, encodeCellRecord(c.fh, &c.at)); err != nil {
+		return nfsproto.ErrIO
+	}
+	return nfsproto.OK
+}
+
+// localRemoveDirCell removes a resident directory attribute cell after
+// verifying the directory has no local entries. checkEmpty is false when
+// the caller has already performed a global emptiness check.
+func (s *Server) localRemoveDirCell(child fhandle.Handle, checkEmpty bool) nfsproto.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.st.attrs[child.FileID]
+	if c == nil {
+		return nfsproto.ErrStale
+	}
+	if c.at.Type != attr.TypeDir {
+		return nfsproto.ErrNotDir
+	}
+	if checkEmpty && len(s.st.byDir[child.Ident()]) > 0 {
+		return nfsproto.ErrNotEmpty
+	}
+	delete(s.st.attrs, child.FileID)
+	if _, err := s.log.AppendSync(recCellGone, encodeCellRecord(child, &c.at)); err != nil {
+		return nfsproto.ErrIO
+	}
+	return nfsproto.OK
+}
+
+// localLinkDelta adjusts a file cell's link count, removing the cell when
+// it reaches zero. Returns the new link count.
+func (s *Server) localLinkDelta(key uint64, delta int32) (nfsproto.Status, uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.st.attrs[key]
+	if c == nil {
+		return nfsproto.ErrStale, 0
+	}
+	newNlink := int64(c.at.Nlink) + int64(delta)
+	if newNlink < 0 {
+		newNlink = 0
+	}
+	c.at.Nlink = uint32(newNlink)
+	c.at.Ctime = s.now()
+	if c.at.Nlink == 0 && c.at.Type != attr.TypeDir {
+		delete(s.st.attrs, key)
+		if _, err := s.log.AppendSync(recCellGone, encodeCellRecord(c.fh, &c.at)); err != nil {
+			return nfsproto.ErrIO, 0
+		}
+		return nfsproto.OK, 0
+	}
+	if _, err := s.log.AppendSync(recLinkDel, encodeCellRecord(c.fh, &c.at)); err != nil {
+		return nfsproto.ErrIO, 0
+	}
+	return nfsproto.OK, c.at.Nlink
+}
+
+// localListDir returns the local entries of parent.
+func (s *Server) localListDir(parent fhandle.Key) []remoteEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents := s.st.entriesOf(parent)
+	out := make([]remoteEntry, len(ents))
+	for i, c := range ents {
+		out[i] = remoteEntry{name: c.name, child: c.child}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+// Package ensemble assembles a complete Slice deployment on a netsim
+// fabric: storage nodes, a block-service coordinator, directory servers,
+// small-file servers, and the interposed µproxy presenting the whole
+// ensemble as a single virtual NFS server (Figure 1 of the paper).
+package ensemble
+
+import (
+	"fmt"
+	"time"
+
+	"slice/internal/attr"
+	"slice/internal/client"
+	"slice/internal/coord"
+	"slice/internal/dirsrv"
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/proxy"
+	"slice/internal/route"
+	"slice/internal/smallfile"
+	"slice/internal/storage"
+	"slice/internal/wal"
+)
+
+// Host numbering plan for the fabric.
+const (
+	HostVirtual   = 100 // the virtual NFS server (no machine behind it)
+	HostProxy     = 99  // µproxy's own client ports
+	HostCoord     = 90
+	HostStorage0  = 10 // storage node i at HostStorage0+i
+	HostDir0      = 30 // directory server i at HostDir0+i
+	HostSmall0    = 50 // small-file server i at HostSmall0+i
+	HostClient0   = 200
+	ServicePort   = 2049
+	CoordinatorPt = 3049
+)
+
+// Config sizes and parameterizes an ensemble.
+type Config struct {
+	StorageNodes     int
+	DirServers       int
+	SmallFileServers int
+	// Coordinator enables the block-service coordinator.
+	Coordinator bool
+	// NameKind selects the name-space policy; MkdirP is the mkdir
+	// redirection probability (mkdir switching only).
+	NameKind route.NameKind
+	MkdirP   float64
+	// Threshold and StripeUnit parameterize the I/O policy; zero means
+	// the route defaults.
+	Threshold  uint64
+	StripeUnit uint64
+	// MirrorDegree >1 mirrors all newly created files.
+	MirrorDegree uint8
+	// UseBlockMaps routes bulk I/O through coordinator block maps.
+	UseBlockMaps bool
+	// LogicalSites sets routing-table granularity (default: server count).
+	LogicalSites int
+	// Net configures the fabric (loss, latency).
+	Net netsim.Config
+	// Clock injects timestamps into all servers.
+	Clock func() attr.Time
+	// WritebackInterval for the µproxy attribute cache (0 = manual).
+	WritebackInterval time.Duration
+	// CapabilityKey, when set, enables the §2.2 secure-object model:
+	// storage nodes verify keyed capabilities that the µproxy and
+	// coordinator stamp into storage-bound handles. Clients bypassing
+	// the µproxy are refused by the storage nodes.
+	CapabilityKey []byte
+}
+
+// Ensemble is a running Slice deployment.
+type Ensemble struct {
+	Net     *netsim.Network
+	Virtual netsim.Addr
+
+	Storage   []*storage.Node
+	Dirs      []*dirsrv.Server
+	DirLogs   []*wal.MemStore
+	Small     []*smallfile.Server
+	SmallLogs []*wal.MemStore
+	Coord     *coord.Coordinator
+	CoordLog  *wal.MemStore
+	Proxy     *proxy.Proxy
+
+	StorageTable *route.Table
+	DirTable     *route.Table
+	SmallTable   *route.Table
+	IOPolicy     *route.IOPolicy
+	NamePolicy   *route.NamePolicy
+
+	Root       fhandle.Handle
+	cfg        Config
+	nextClient uint32
+}
+
+// New builds and starts an ensemble.
+func New(cfg Config) (*Ensemble, error) {
+	if cfg.StorageNodes <= 0 {
+		cfg.StorageNodes = 1
+	}
+	if cfg.DirServers <= 0 {
+		cfg.DirServers = 1
+	}
+	e := &Ensemble{
+		Net:     netsim.New(cfg.Net),
+		Virtual: netsim.Addr{Host: HostVirtual, Port: ServicePort},
+		cfg:     cfg,
+	}
+
+	// Storage nodes.
+	var storageAddrs []netsim.Addr
+	for i := 0; i < cfg.StorageNodes; i++ {
+		addr := netsim.Addr{Host: HostStorage0 + uint32(i), Port: ServicePort}
+		port, err := e.Net.Bind(addr)
+		if err != nil {
+			return nil, err
+		}
+		node := storage.NewNode(port, storage.NewObjectStore())
+		if len(cfg.CapabilityKey) > 0 {
+			node.RequireCapability(cfg.CapabilityKey)
+		}
+		e.Storage = append(e.Storage, node)
+		storageAddrs = append(storageAddrs, addr)
+	}
+	logical := cfg.LogicalSites
+	e.StorageTable = route.NewTable(logical, storageAddrs)
+
+	// Small-file servers.
+	var smallAddrs []netsim.Addr
+	for i := 0; i < cfg.SmallFileServers; i++ {
+		addr := netsim.Addr{Host: HostSmall0 + uint32(i), Port: ServicePort}
+		port, err := e.Net.Bind(addr)
+		if err != nil {
+			return nil, err
+		}
+		logStore := wal.NewMemStore()
+		log, err := wal.Open(logStore)
+		if err != nil {
+			return nil, err
+		}
+		// Each small-file server's backing object lives on a storage
+		// node chosen by its index (dataless managers, §2.3).
+		backing := e.Storage[i%len(e.Storage)].Store()
+		backID := storage.ObjectID(0x5F<<56 | uint64(i))
+		st := smallfile.NewStore(backing, backID, log)
+		e.Small = append(e.Small, smallfile.NewServer(port, st))
+		e.SmallLogs = append(e.SmallLogs, logStore)
+		smallAddrs = append(smallAddrs, addr)
+	}
+	if len(smallAddrs) > 0 {
+		e.SmallTable = route.NewTable(logical, smallAddrs)
+	}
+
+	// Coordinator.
+	if cfg.Coordinator {
+		addr := netsim.Addr{Host: HostCoord, Port: CoordinatorPt}
+		port, err := e.Net.Bind(addr)
+		if err != nil {
+			return nil, err
+		}
+		e.CoordLog = wal.NewMemStore()
+		log, err := wal.Open(e.CoordLog)
+		if err != nil {
+			return nil, err
+		}
+		e.Coord = coord.New(port, coord.Config{
+			Log:       log,
+			Storage:   e.StorageTable,
+			SmallFile: e.SmallTable,
+			Net:       e.Net,
+			Host:      HostCoord,
+			CapKey:    cfg.CapabilityKey,
+		})
+	}
+
+	// Directory servers.
+	var dirAddrs []netsim.Addr
+	for i := 0; i < cfg.DirServers; i++ {
+		dirAddrs = append(dirAddrs, netsim.Addr{Host: HostDir0 + uint32(i), Port: ServicePort})
+	}
+	e.DirTable = route.NewTable(logical, dirAddrs)
+	for i := 0; i < cfg.DirServers; i++ {
+		port, err := e.Net.Bind(dirAddrs[i])
+		if err != nil {
+			return nil, err
+		}
+		logStore := wal.NewMemStore()
+		log, err := wal.Open(logStore)
+		if err != nil {
+			return nil, err
+		}
+		e.Dirs = append(e.Dirs, dirsrv.New(port, dirsrv.Config{
+			Site:         uint32(i),
+			Volume:       1,
+			Kind:         cfg.NameKind,
+			Table:        e.DirTable,
+			Log:          log,
+			Net:          e.Net,
+			Host:         HostDir0 + uint32(i),
+			Clock:        cfg.Clock,
+			MirrorDegree: cfg.MirrorDegree,
+			UseMaps:      cfg.UseBlockMaps && cfg.Coordinator,
+		}))
+		e.DirLogs = append(e.DirLogs, logStore)
+	}
+
+	// Volume root on site 0, shared with all sites for MOUNT.
+	root, err := e.Dirs[0].CreateRoot()
+	if err != nil {
+		return nil, err
+	}
+	e.Root = root
+	for _, d := range e.Dirs[1:] {
+		d.SetRoot(root)
+	}
+
+	// Routing policies and the µproxy.
+	e.IOPolicy = route.NewIOPolicy(e.SmallTable, e.StorageTable)
+	if cfg.Threshold > 0 {
+		e.IOPolicy.Threshold = cfg.Threshold
+	}
+	if cfg.StripeUnit > 0 {
+		e.IOPolicy.StripeUnit = cfg.StripeUnit
+	}
+	if cfg.SmallFileServers == 0 {
+		e.IOPolicy.SmallFile = nil
+		e.IOPolicy.Threshold = 0
+	}
+	e.NamePolicy = route.NewNamePolicy(cfg.NameKind, cfg.MkdirP, e.DirTable)
+
+	var coordAddr netsim.Addr
+	if e.Coord != nil {
+		coordAddr = e.Coord.Addr()
+	}
+	e.Proxy = proxy.New(proxy.Config{
+		Net:               e.Net,
+		Host:              HostProxy,
+		Virtual:           e.Virtual,
+		IO:                e.IOPolicy,
+		Names:             e.NamePolicy,
+		Coord:             coordAddr,
+		WritebackInterval: cfg.WritebackInterval,
+		CapKey:            cfg.CapabilityKey,
+	})
+	return e, nil
+}
+
+// NewClient creates and mounts a client on a fresh host.
+func (e *Ensemble) NewClient() (*client.Client, error) {
+	e.nextClient++
+	c, err := client.New(client.Config{
+		Net:        e.Net,
+		Host:       HostClient0 + e.nextClient,
+		Server:     e.Virtual,
+		Threshold:  e.IOPolicy.Threshold,
+		StripeUnit: e.IOPolicy.StripeUnit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Mount(); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("ensemble: mount: %w", err)
+	}
+	return c, nil
+}
+
+// Close stops every component.
+func (e *Ensemble) Close() {
+	if e.Proxy != nil {
+		e.Proxy.Close()
+	}
+	if e.Coord != nil {
+		e.Coord.Close()
+	}
+	for _, d := range e.Dirs {
+		d.Close()
+	}
+	for _, s := range e.Small {
+		s.Close()
+	}
+	for _, n := range e.Storage {
+		n.Close()
+	}
+}

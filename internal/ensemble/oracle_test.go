@@ -1,0 +1,294 @@
+package ensemble
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"slice/internal/dirsrv"
+	"slice/internal/fhandle"
+	"slice/internal/nfsproto"
+	"slice/internal/route"
+)
+
+// The oracle test drives the full distributed stack with a random
+// operation stream and mirrors every operation against a trivially
+// correct in-memory model. Divergence in any result — resolution, file
+// contents, directory listings, link targets — is a bug in the ensemble.
+
+type oracleFile struct {
+	data  []byte
+	links int
+}
+
+type oracleNode struct {
+	isDir    bool
+	isLink   bool
+	target   string
+	file     *oracleFile // shared between hard links
+	children map[string]*oracleNode
+}
+
+func newOracleDir() *oracleNode {
+	return &oracleNode{isDir: true, children: make(map[string]*oracleNode)}
+}
+
+// TestOracleRandomOps runs the random-operation equivalence check under
+// both name-space policies and several seeds.
+func TestOracleRandomOps(t *testing.T) {
+	for _, kind := range []route.NameKind{route.MkdirSwitching, route.NameHashing} {
+		for _, seed := range []int64{7, 21, 1023} {
+			t.Run(fmt.Sprintf("%s/seed=%d", kind, seed), func(t *testing.T) {
+				runOracle(t, kind, 2000, seed, oracleOpts{})
+			})
+		}
+	}
+}
+
+// TestOracleUnderAdversity repeats the equivalence check over a lossy
+// fabric with periodic µproxy soft-state loss: retransmission and
+// soft-state recovery must keep the live system equal to the model.
+func TestOracleUnderAdversity(t *testing.T) {
+	runOracle(t, route.MkdirSwitching, 500, 99, oracleOpts{
+		lossRate:      0.02,
+		flushEvery:    100,
+		capabilityKey: []byte("adversity"),
+	})
+}
+
+type oracleOpts struct {
+	lossRate      float64
+	flushEvery    int // drop µproxy soft state every N steps (0 = never)
+	capabilityKey []byte
+}
+
+func runOracle(t *testing.T, kind route.NameKind, steps int, seed int64, opts oracleOpts) {
+	e := newTest(t, func(cfg *Config) {
+		cfg.NameKind = kind
+		cfg.DirServers = 3
+		cfg.StorageNodes = 3
+		cfg.MkdirP = 0.5
+		cfg.Net.LossRate = opts.lossRate
+		cfg.Net.Seed = seed
+		cfg.CapabilityKey = opts.capabilityKey
+	})
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	rootModel := newOracleDir()
+
+	// Trackers: model path <-> live handle, kept in sync.
+	type dirRef struct {
+		model *oracleNode
+		fh    fhandle.Handle
+		path  string
+	}
+	dirs := []dirRef{{model: rootModel, fh: c.Root(), path: "/"}}
+	nameOf := func(i int) string { return fmt.Sprintf("n%02d", i) }
+
+	verifyDir := func(d dirRef) {
+		ents, err := c.ReadDir(d.fh)
+		if err != nil {
+			t.Fatalf("readdir %s: %v", d.path, err)
+		}
+		var got []string
+		for _, ent := range ents {
+			got = append(got, ent.Name)
+		}
+		var want []string
+		for name := range d.model.children {
+			want = append(want, name)
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Fatalf("readdir %s diverged:\n live: %v\nmodel: %v", d.path, got, want)
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		if opts.flushEvery > 0 && step%opts.flushEvery == opts.flushEvery-1 {
+			e.Proxy.FlushSoftState()
+		}
+		d := dirs[rng.Intn(len(dirs))]
+		name := nameOf(rng.Intn(20))
+		child, exists := d.model.children[name]
+
+		switch op := rng.Intn(10); op {
+		case 0: // mkdir
+			fh, _, err := c.Mkdir(d.fh, name, 0o755)
+			if exists {
+				if nfsproto.StatusOf(err) != nfsproto.ErrExist {
+					t.Fatalf("step %d mkdir %s/%s over existing: %v", step, d.path, name, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d mkdir %s/%s: %v", step, d.path, name, err)
+			}
+			n := newOracleDir()
+			d.model.children[name] = n
+			dirs = append(dirs, dirRef{model: n, fh: fh, path: d.path + name + "/"})
+
+		case 1, 2: // create + write
+			if exists {
+				continue
+			}
+			fh, _, err := c.Create(d.fh, name, 0o644, true)
+			if err != nil {
+				t.Fatalf("step %d create %s/%s: %v", step, d.path, name, err)
+			}
+			size := rng.Intn(100 * 1024)
+			data := make([]byte, size)
+			rng.Read(data)
+			if err := c.WriteFile(fh, data); err != nil {
+				t.Fatalf("step %d write %s/%s (%d bytes): %v", step, d.path, name, size, err)
+			}
+			d.model.children[name] = &oracleNode{file: &oracleFile{data: data, links: 1}}
+
+		case 3: // read back and compare
+			if !exists || child.isDir || child.isLink {
+				continue
+			}
+			fh, _, err := c.Lookup(d.fh, name)
+			if err != nil {
+				t.Fatalf("step %d lookup %s/%s: %v", step, d.path, name, err)
+			}
+			got, err := c.ReadAll(fh)
+			if err != nil {
+				t.Fatalf("step %d read %s/%s: %v", step, d.path, name, err)
+			}
+			if !bytes.Equal(got, child.file.data) {
+				t.Fatalf("step %d content of %s/%s diverged: %d vs %d bytes",
+					step, d.path, name, len(got), len(child.file.data))
+			}
+
+		case 4: // remove file/symlink
+			if !exists || child.isDir {
+				continue
+			}
+			if err := c.Remove(d.fh, name); err != nil {
+				t.Fatalf("step %d remove %s/%s: %v", step, d.path, name, err)
+			}
+			if child.file != nil {
+				child.file.links--
+			}
+			delete(d.model.children, name)
+
+		case 5: // overwrite a slice of an existing file
+			if !exists || child.isDir || child.isLink || len(child.file.data) == 0 {
+				continue
+			}
+			fh, _, err := c.Lookup(d.fh, name)
+			if err != nil {
+				t.Fatalf("step %d lookup: %v", step, err)
+			}
+			off := rng.Intn(len(child.file.data))
+			n := rng.Intn(len(child.file.data)-off) + 1
+			patch := make([]byte, n)
+			rng.Read(patch)
+			if _, err := c.Write(fh, uint64(off), patch, false); err != nil {
+				t.Fatalf("step %d overwrite: %v", step, err)
+			}
+			copy(child.file.data[off:], patch)
+
+		case 6: // symlink + readlink
+			if exists {
+				continue
+			}
+			target := fmt.Sprintf("/points/at/%d", step)
+			fh, _, err := c.Symlink(d.fh, name, target)
+			if err != nil {
+				t.Fatalf("step %d symlink: %v", step, err)
+			}
+			got, err := c.ReadLink(fh)
+			if err != nil || got != target {
+				t.Fatalf("step %d readlink: %q, %v", step, got, err)
+			}
+			d.model.children[name] = &oracleNode{isLink: true, target: target}
+
+		case 7: // hard link into another directory
+			if !exists || child.isDir || child.isLink {
+				continue
+			}
+			d2 := dirs[rng.Intn(len(dirs))]
+			name2 := nameOf(rng.Intn(20))
+			if _, dup := d2.model.children[name2]; dup {
+				continue
+			}
+			fh, _, err := c.Lookup(d.fh, name)
+			if err != nil {
+				t.Fatalf("step %d lookup for link: %v", step, err)
+			}
+			if err := c.Link(fh, d2.fh, name2); err != nil {
+				t.Fatalf("step %d link %s/%s -> %s/%s: %v",
+					step, d.path, name, d2.path, name2, err)
+			}
+			child.file.links++
+			d2.model.children[name2] = &oracleNode{file: child.file}
+
+		case 8: // rename within/between directories
+			if !exists || child.isDir {
+				continue
+			}
+			d2 := dirs[rng.Intn(len(dirs))]
+			name2 := nameOf(rng.Intn(20))
+			_, dup := d2.model.children[name2]
+			err := c.Rename(d.fh, name, d2.fh, name2)
+			if dup {
+				if nfsproto.StatusOf(err) != nfsproto.ErrExist {
+					t.Fatalf("step %d rename onto existing: %v", step, err)
+				}
+				continue
+			}
+			if d.model == d2.model && name == name2 {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d rename %s/%s -> %s/%s: %v",
+					step, d.path, name, d2.path, name2, err)
+			}
+			d2.model.children[name2] = child
+			delete(d.model.children, name)
+
+		case 9: // verify a random directory listing
+			verifyDir(dirs[rng.Intn(len(dirs))])
+		}
+	}
+
+	// Final sweep: every directory listing, every file body, every link
+	// target, then a cross-site fsck.
+	for _, d := range dirs {
+		verifyDir(d)
+		for name, n := range d.model.children {
+			fh, _, err := c.Lookup(d.fh, name)
+			if err != nil {
+				t.Fatalf("final lookup %s/%s: %v", d.path, name, err)
+			}
+			switch {
+			case n.isLink:
+				got, err := c.ReadLink(fh)
+				if err != nil || got != n.target {
+					t.Fatalf("final readlink %s/%s: %q, %v", d.path, name, got, err)
+				}
+			case !n.isDir:
+				got, err := c.ReadAll(fh)
+				if err != nil || !bytes.Equal(got, n.file.data) {
+					t.Fatalf("final content %s/%s: %d vs %d bytes, %v",
+						d.path, name, len(got), len(n.file.data), err)
+				}
+			}
+		}
+	}
+	e.Proxy.WritebackAttrs()
+	if problems := dirsrv.Check(e.Dirs, e.Root); len(problems) != 0 {
+		t.Fatalf("fsck after %d random ops:\n%s", steps, strings.Join(problems, "\n"))
+	}
+}

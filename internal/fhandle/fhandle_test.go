@@ -1,0 +1,205 @@
+package fhandle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slice/internal/xdr"
+)
+
+func sample() Handle {
+	return Handle{
+		Volume: 1, FileID: 0x123456789A, Type: 1, MirrorDegree: 2,
+		Flags: FlagMirrored, CellKey: 0xDEADBEEF, Site: 3, Gen: 7,
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	h := sample()
+	p := h.Marshal()
+	if len(p) != Size {
+		t.Fatalf("marshal size %d, want %d", len(p), Size)
+	}
+	got, err := Unmarshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+}
+
+func TestXDRRoundTrip(t *testing.T) {
+	h := sample()
+	e := xdr.NewEncoder(Size)
+	h.Encode(e)
+	if e.Len() != Size {
+		t.Fatalf("wire size %d", e.Len())
+	}
+	got, err := Decode(xdr.NewDecoder(e.Bytes()))
+	if err != nil || got != h {
+		t.Fatalf("decode: %+v, %v", got, err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vol uint32, id uint64, typ, mir uint8, flags uint16, cell uint64, site, gen uint32) bool {
+		h := Handle{Volume: vol, FileID: id, Type: typ, MirrorDegree: mir,
+			Flags: flags, CellKey: cell, Site: site, Gen: gen}
+		got, err := Unmarshal(h.Marshal())
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsBadLength(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, Size-1)); err == nil {
+		t.Fatal("short handle accepted")
+	}
+	if _, err := Unmarshal(make([]byte, Size+1)); err == nil {
+		t.Fatal("long handle accepted")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	var zero Handle
+	if !zero.IsZero() {
+		t.Fatal("zero handle not IsZero")
+	}
+	h := sample()
+	if h.IsZero() {
+		t.Fatal("nonzero handle IsZero")
+	}
+	if !h.Mirrored() {
+		t.Fatal("mirrored handle not Mirrored")
+	}
+	h.MirrorDegree = 1
+	if h.Mirrored() {
+		t.Fatal("degree-1 handle reported mirrored")
+	}
+	h.Flags = FlagMapped
+	if !h.Mapped() {
+		t.Fatal("mapped flag not detected")
+	}
+}
+
+func TestIdentExcludesHints(t *testing.T) {
+	a := sample()
+	b := a
+	b.MirrorDegree = 0
+	b.Flags = 0
+	b.Site = 9
+	b.CellKey = 1
+	b.Type = 2
+	if a.Ident() != b.Ident() {
+		t.Fatal("identity depends on non-identity fields")
+	}
+	c := a
+	c.Gen++
+	if a.Ident() == c.Ident() {
+		t.Fatal("generation not part of identity")
+	}
+}
+
+func TestNameKeyProperties(t *testing.T) {
+	parent := sample()
+	k1 := NameKey(parent, "file.txt")
+	k2 := NameKey(parent, "file.txt")
+	if k1 != k2 {
+		t.Fatal("NameKey not deterministic")
+	}
+	if NameKey(parent, "file.txt") == NameKey(parent, "file.txu") {
+		t.Fatal("similar names collide (suspicious)")
+	}
+	other := parent
+	other.FileID++
+	if NameKey(parent, "x") == NameKey(other, "x") {
+		t.Fatal("same name under different parents collides (suspicious)")
+	}
+}
+
+// TestNameKeyBalance verifies the MD5 fingerprint spreads names evenly
+// over sites — the property the paper chose MD5 for (§4.1).
+func TestNameKeyBalance(t *testing.T) {
+	parent := sample()
+	const sites = 8
+	const names = 8000
+	var counts [sites]int
+	for i := 0; i < names; i++ {
+		k := NameKey(parent, "entry"+string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)))
+		counts[k%sites]++
+	}
+	mean := names / sites
+	for s, c := range counts {
+		if c < mean*7/10 || c > mean*13/10 {
+			t.Fatalf("site %d holds %d of %d names (mean %d): poor balance", s, c, names, mean)
+		}
+	}
+}
+
+func TestHandleKeyIgnoresHints(t *testing.T) {
+	a := sample()
+	b := a
+	b.Flags = 0
+	b.MirrorDegree = 0
+	b.Site = 99
+	b.Type = 2
+	b.CellKey = 0
+	if HandleKey(a) != HandleKey(b) {
+		t.Fatal("HandleKey depends on placement hints")
+	}
+	c := a
+	c.FileID++
+	if HandleKey(a) == HandleKey(c) {
+		t.Fatal("different files share a handle key (suspicious)")
+	}
+}
+
+func TestString(t *testing.T) {
+	if sample().String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestCapability(t *testing.T) {
+	key := []byte("service secret")
+	h := sample()
+	capped := WithCapability(key, h)
+	if !VerifyCapability(key, capped) {
+		t.Fatal("minted capability does not verify")
+	}
+	if VerifyCapability([]byte("other key"), capped) {
+		t.Fatal("capability verified under the wrong key")
+	}
+	if VerifyCapability(key, h) {
+		t.Fatal("raw handle verified without a capability")
+	}
+	// The capability covers identity only: placement hints may differ.
+	hinted := capped
+	hinted.Flags |= FlagMapped
+	hinted.MirrorDegree = 3
+	if !VerifyCapability(key, hinted) {
+		t.Fatal("hint changes invalidated the capability")
+	}
+	// Identity changes invalidate it.
+	forged := capped
+	forged.FileID++
+	if VerifyCapability(key, forged) {
+		t.Fatal("capability transferred to another file")
+	}
+	forged = capped
+	forged.Gen++
+	if VerifyCapability(key, forged) {
+		t.Fatal("capability survived a generation bump")
+	}
+}
+
+func TestCapabilityDeterministic(t *testing.T) {
+	key := []byte("k")
+	h := sample()
+	if Capability(key, h) != Capability(key, h) {
+		t.Fatal("capability not deterministic")
+	}
+}

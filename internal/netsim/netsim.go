@@ -1,0 +1,467 @@
+// Package netsim provides the in-memory datagram network that stands in
+// for the switched Gigabit Ethernet LAN of the paper's testbed.
+//
+// Every datagram carries a 16-byte pseudo IP/UDP header (source and
+// destination host and port, length, and a 16-bit Internet checksum), so an
+// interposed element such as the Slice µproxy can do exactly what the
+// FreeBSD packet-filter prototype did: decode layer-3/4 fields from raw
+// bytes, rewrite addresses and ports, and fix the checksum incrementally.
+//
+// Taps model interposition "along the network path": a tap sees every
+// datagram before delivery and may pass, drop, or consume it (injecting
+// rewritten traffic instead). Datagram delivery is unreliable by design —
+// ports have bounded queues and the network can be configured with loss —
+// because the Slice architecture depends on end-to-end RPC retransmission
+// to mask drops in the µproxy (§2.1).
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"time"
+
+	"slice/internal/checksum"
+)
+
+// Addr identifies a network endpoint: a pseudo-IPv4 host and a port.
+type Addr struct {
+	Host uint32
+	Port uint16
+}
+
+// String renders the address as a dotted quad with port.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d",
+		byte(a.Host>>24), byte(a.Host>>16), byte(a.Host>>8), byte(a.Host), a.Port)
+}
+
+// IsZero reports whether a is the zero address.
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// HeaderSize is the fixed size of the pseudo IP/UDP header.
+const HeaderSize = 16
+
+// MaxDatagram bounds a single datagram, mimicking a jumbo-frame MTU
+// comfortably above the largest NFS transfer plus headers.
+const MaxDatagram = 96 * 1024
+
+// Header is the decoded pseudo IP/UDP header of a datagram.
+type Header struct {
+	Src      Addr
+	Dst      Addr
+	Length   uint16 // total datagram length including header
+	Checksum uint16 // Internet checksum over the datagram with this field zero
+}
+
+// Offsets of header fields within a datagram, exported for rewriters.
+const (
+	OffSrcHost  = 0
+	OffDstHost  = 4
+	OffSrcPort  = 8
+	OffDstPort  = 10
+	OffLength   = 12
+	OffChecksum = 14
+)
+
+// Build assembles a datagram from src to dst carrying payload, computing
+// the checksum. The payload is copied.
+func Build(src, dst Addr, payload []byte) ([]byte, error) {
+	total := HeaderSize + len(payload)
+	if total > MaxDatagram {
+		return nil, fmt.Errorf("netsim: datagram size %d exceeds max %d", total, MaxDatagram)
+	}
+	d := make([]byte, total)
+	binary.BigEndian.PutUint32(d[OffSrcHost:], src.Host)
+	binary.BigEndian.PutUint32(d[OffDstHost:], dst.Host)
+	binary.BigEndian.PutUint16(d[OffSrcPort:], src.Port)
+	binary.BigEndian.PutUint16(d[OffDstPort:], dst.Port)
+	binary.BigEndian.PutUint16(d[OffLength:], uint16(total))
+	copy(d[HeaderSize:], payload)
+	binary.BigEndian.PutUint16(d[OffChecksum:], checksum.Sum(d))
+	return d, nil
+}
+
+// ErrBadDatagram indicates a malformed or corrupt datagram.
+var ErrBadDatagram = errors.New("netsim: bad datagram")
+
+// Parse decodes and validates the header of a datagram, verifying length
+// and checksum.
+func Parse(d []byte) (Header, error) {
+	if len(d) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: short datagram (%d bytes)", ErrBadDatagram, len(d))
+	}
+	h := Header{
+		Src: Addr{
+			Host: binary.BigEndian.Uint32(d[OffSrcHost:]),
+			Port: binary.BigEndian.Uint16(d[OffSrcPort:]),
+		},
+		Dst: Addr{
+			Host: binary.BigEndian.Uint32(d[OffDstHost:]),
+			Port: binary.BigEndian.Uint16(d[OffDstPort:]),
+		},
+		Length:   binary.BigEndian.Uint16(d[OffLength:]),
+		Checksum: binary.BigEndian.Uint16(d[OffChecksum:]),
+	}
+	if int(h.Length) != len(d) {
+		return h, fmt.Errorf("%w: length field %d != size %d", ErrBadDatagram, h.Length, len(d))
+	}
+	if !VerifyChecksum(d) {
+		return h, fmt.Errorf("%w: checksum mismatch", ErrBadDatagram)
+	}
+	return h, nil
+}
+
+// VerifyChecksum reports whether the datagram's checksum is valid.
+func VerifyChecksum(d []byte) bool {
+	if len(d) < HeaderSize {
+		return false
+	}
+	stored := binary.BigEndian.Uint16(d[OffChecksum:])
+	binary.BigEndian.PutUint16(d[OffChecksum:], 0)
+	ok := checksum.Sum(d) == stored
+	binary.BigEndian.PutUint16(d[OffChecksum:], stored)
+	return ok
+}
+
+// Payload returns the payload bytes of a datagram (aliasing d).
+func Payload(d []byte) []byte {
+	if len(d) < HeaderSize {
+		return nil
+	}
+	return d[HeaderSize:]
+}
+
+// RewriteSrc replaces the source address of the datagram in place,
+// adjusting the checksum incrementally.
+func RewriteSrc(d []byte, src Addr) {
+	rewriteAddr(d, OffSrcHost, OffSrcPort, src)
+}
+
+// RewriteDst replaces the destination address of the datagram in place,
+// adjusting the checksum incrementally.
+func RewriteDst(d []byte, dst Addr) {
+	rewriteAddr(d, OffDstHost, OffDstPort, dst)
+}
+
+// RewriteUint64 replaces the 8 bytes at even offset off in place,
+// adjusting the checksum incrementally. The µproxy uses it to patch
+// capability fields into forwarded requests without re-encoding.
+func RewriteUint64(d []byte, off int, v uint64) error {
+	if off < 0 || off%2 != 0 || off+8 > len(d) {
+		return fmt.Errorf("%w: rewrite at offset %d", ErrBadDatagram, off)
+	}
+	sum := binary.BigEndian.Uint16(d[OffChecksum:])
+	old := binary.BigEndian.Uint64(d[off:])
+	sum = checksum.Update64(sum, old, v)
+	binary.BigEndian.PutUint64(d[off:], v)
+	binary.BigEndian.PutUint16(d[OffChecksum:], sum)
+	return nil
+}
+
+func rewriteAddr(d []byte, hostOff, portOff int, a Addr) {
+	sum := binary.BigEndian.Uint16(d[OffChecksum:])
+	oldHost := binary.BigEndian.Uint32(d[hostOff:])
+	oldPort := binary.BigEndian.Uint16(d[portOff:])
+	sum = checksum.Update32(sum, oldHost, a.Host)
+	sum = checksum.Update(sum, oldPort, a.Port)
+	binary.BigEndian.PutUint32(d[hostOff:], a.Host)
+	binary.BigEndian.PutUint16(d[portOff:], a.Port)
+	binary.BigEndian.PutUint16(d[OffChecksum:], sum)
+}
+
+// Verdict is a tap's decision about a datagram.
+type Verdict int
+
+// Tap verdicts.
+const (
+	// Pass lets the datagram continue to the next tap and then delivery.
+	Pass Verdict = iota
+	// Drop silently discards the datagram.
+	Drop
+	// Consumed means the tap took ownership; it typically injects one or
+	// more rewritten datagrams in its place.
+	Consumed
+)
+
+// Tap observes datagrams in flight. Handle runs on the sender's goroutine
+// with the network unlocked; it may call Network.Inject.
+type Tap interface {
+	Handle(dgram []byte) Verdict
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(dgram []byte) Verdict
+
+// Handle implements Tap.
+func (f TapFunc) Handle(dgram []byte) Verdict { return f(dgram) }
+
+// Config holds network fault-injection and delay parameters.
+type Config struct {
+	// LossRate is the probability in [0,1) that a datagram is dropped
+	// after passing the taps.
+	LossRate float64
+	// Latency delays delivery of each datagram.
+	Latency time.Duration
+	// QueueLen is the per-port receive queue length (default 512).
+	QueueLen int
+	// Seed seeds the loss generator; 0 means a fixed default.
+	Seed int64
+}
+
+// Stats aggregates network counters.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Lost      uint64 // dropped by configured loss
+	Dropped   uint64 // dropped by taps or full queues or unbound ports
+	Bytes     uint64
+}
+
+// Network is an in-memory datagram fabric.
+type Network struct {
+	mu    sync.Mutex
+	ports map[Addr]*Port
+	taps  []Tap
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 512
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		ports: make(map[Addr]*Port),
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// AddTap registers a tap; taps run in registration order.
+func (n *Network) AddTap(t Tap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.taps = append(n.taps, t)
+}
+
+// RemoveTap unregisters a tap. Taps are matched by identity: pointer
+// equality for pointer taps, function identity for TapFunc.
+func (n *Network) RemoveTap(t Tap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, x := range n.taps {
+		if tapEqual(x, t) {
+			n.taps = append(n.taps[:i], n.taps[i+1:]...)
+			return
+		}
+	}
+}
+
+// tapEqual compares taps without panicking on uncomparable dynamic types
+// (function values).
+func tapEqual(a, b Tap) bool {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	if va.Kind() != vb.Kind() {
+		return false
+	}
+	if va.Kind() == reflect.Func {
+		return va.Pointer() == vb.Pointer()
+	}
+	if !va.Comparable() || !vb.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// ErrPortInUse is returned by Bind for an already-bound address.
+var ErrPortInUse = errors.New("netsim: port in use")
+
+// ErrClosed is returned by operations on a closed port.
+var ErrClosed = errors.New("netsim: port closed")
+
+// Port is a bound endpoint that can send and receive datagrams.
+type Port struct {
+	net    *Network
+	addr   Addr
+	ch     chan []byte
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Bind claims addr and returns its port.
+func (n *Network) Bind(addr Addr) (*Port, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.ports[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrPortInUse, addr)
+	}
+	p := &Port{
+		net:    n,
+		addr:   addr,
+		ch:     make(chan []byte, n.cfg.QueueLen),
+		closed: make(chan struct{}),
+	}
+	n.ports[addr] = p
+	return p, nil
+}
+
+// ephemeralBase is the first port number BindAny hands out.
+const ephemeralBase = 40000
+
+// BindAny binds the first free ephemeral port on the given host.
+func (n *Network) BindAny(host uint32) (*Port, error) {
+	for p := uint16(ephemeralBase); p != 0; p++ { // wraps to 0 after 65535
+		port, err := n.Bind(Addr{Host: host, Port: p})
+		if err == nil {
+			return port, nil
+		}
+		if !errors.Is(err, ErrPortInUse) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("netsim: no free ephemeral ports on host %d", host)
+}
+
+// Addr returns the port's bound address.
+func (p *Port) Addr() Addr { return p.addr }
+
+// Close releases the port. Pending datagrams are discarded.
+func (p *Port) Close() {
+	p.once.Do(func() {
+		p.net.mu.Lock()
+		delete(p.net.ports, p.addr)
+		p.net.mu.Unlock()
+		close(p.closed)
+	})
+}
+
+// SendTo builds a datagram to dst carrying payload and sends it.
+func (p *Port) SendTo(dst Addr, payload []byte) error {
+	d, err := Build(p.addr, dst, payload)
+	if err != nil {
+		return err
+	}
+	return p.net.send(d)
+}
+
+// Recv blocks until a datagram arrives, the timeout expires (zero means no
+// timeout), or the port is closed. The returned slice is owned by the
+// caller.
+func (p *Port) Recv(timeout time.Duration) ([]byte, error) {
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case d := <-p.ch:
+		return d, nil
+	case <-timeoutCh:
+		return nil, ErrTimeout
+	case <-p.closed:
+		return nil, ErrClosed
+	}
+}
+
+// ErrTimeout is returned by Recv when the timeout expires.
+var ErrTimeout = errors.New("netsim: receive timeout")
+
+// Inject sends a fully formed datagram (with header and checksum) into the
+// network. Taps do NOT see injected datagrams; this is how a consuming tap
+// forwards rewritten traffic without re-intercepting it.
+func (n *Network) Inject(d []byte) error {
+	return n.deliver(d)
+}
+
+// send runs taps, then delivers.
+func (n *Network) send(d []byte) error {
+	n.mu.Lock()
+	taps := make([]Tap, len(n.taps))
+	copy(taps, n.taps)
+	n.stats.Sent++
+	n.stats.Bytes += uint64(len(d))
+	n.mu.Unlock()
+
+	for _, t := range taps {
+		switch t.Handle(d) {
+		case Drop:
+			n.count(func(s *Stats) { s.Dropped++ })
+			return nil
+		case Consumed:
+			return nil
+		}
+	}
+	return n.deliver(d)
+}
+
+func (n *Network) count(f func(*Stats)) {
+	n.mu.Lock()
+	f(&n.stats)
+	n.mu.Unlock()
+}
+
+// deliver applies configured loss and places the datagram on the
+// destination port's queue. Loss is applied here, after interposition, so
+// that traffic a µproxy rewrites and reinjects is just as lossy as direct
+// traffic — drops can happen anywhere on the path (§2.1).
+func (n *Network) deliver(d []byte) error {
+	if len(d) < HeaderSize {
+		return fmt.Errorf("%w: short datagram", ErrBadDatagram)
+	}
+	if n.cfg.LossRate > 0 {
+		n.mu.Lock()
+		lose := n.rng.Float64() < n.cfg.LossRate
+		n.mu.Unlock()
+		if lose {
+			n.count(func(s *Stats) { s.Lost++ })
+			return nil
+		}
+	}
+	dst := Addr{
+		Host: binary.BigEndian.Uint32(d[OffDstHost:]),
+		Port: binary.BigEndian.Uint16(d[OffDstPort:]),
+	}
+	n.mu.Lock()
+	p, ok := n.ports[dst]
+	n.mu.Unlock()
+	if !ok {
+		// Unbound destination: a real network drops it on the floor.
+		n.count(func(s *Stats) { s.Dropped++ })
+		return nil
+	}
+	if n.cfg.Latency > 0 {
+		time.AfterFunc(n.cfg.Latency, func() { n.enqueue(p, d) })
+		return nil
+	}
+	n.enqueue(p, d)
+	return nil
+}
+
+func (n *Network) enqueue(p *Port, d []byte) {
+	select {
+	case p.ch <- d:
+		n.count(func(s *Stats) { s.Delivered++ })
+	default:
+		// Queue overrun: drop, like a NIC ring buffer.
+		n.count(func(s *Stats) { s.Dropped++ })
+	}
+}

@@ -1,0 +1,136 @@
+package nfsproto
+
+import (
+	"testing"
+
+	"slice/internal/attr"
+	"slice/internal/fhandle"
+	"slice/internal/xdr"
+)
+
+func encodeMsg(m Msg) []byte {
+	e := xdr.NewEncoder(256)
+	m.Encode(e)
+	return e.Bytes()
+}
+
+func TestParseCallIO(t *testing.T) {
+	args := ReadArgs{FH: fh(5), Offset: 123456, Count: 32768}
+	info, err := ParseCall(ProcRead, encodeMsg(&args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FH != args.FH || info.Offset != 123456 || info.Count != 32768 || !info.IsIO {
+		t.Fatalf("info %+v", info)
+	}
+	if info.FHOffset != 0 {
+		t.Fatalf("FHOffset = %d", info.FHOffset)
+	}
+
+	w := WriteArgs{FH: fh(6), Offset: 7, Count: 3, Stable: FileSync, Data: []byte("abc")}
+	info, err = ParseCall(ProcWrite, encodeMsg(&w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FH != w.FH || info.Offset != 7 || info.Count != 3 {
+		t.Fatalf("write info %+v", info)
+	}
+}
+
+func TestParseCallNameOps(t *testing.T) {
+	l := LookupArgs{Dir: fh(1), Name: "etc"}
+	info, err := ParseCall(ProcLookup, encodeMsg(&l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FH != l.Dir || info.Name != "etc" || !info.HasName {
+		t.Fatalf("lookup info %+v", info)
+	}
+
+	c := CreateArgs{Dir: fh(2), Name: "newfile", Sattr: attr.SetAttr{SetMode: true, Mode: 0o644}}
+	info, err = ParseCall(ProcCreate, encodeMsg(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "newfile" {
+		t.Fatalf("create info %+v", info)
+	}
+}
+
+func TestParseCallRename(t *testing.T) {
+	r := RenameArgs{FromDir: fh(1), FromName: "a", ToDir: fh(2), ToName: "b"}
+	body := encodeMsg(&r)
+	info, err := ParseCall(ProcRename, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FH != r.FromDir || info.Name != "a" || info.FH2 != r.ToDir || info.Name2 != "b" {
+		t.Fatalf("rename info %+v", info)
+	}
+	if !info.HasFH2 || !info.HasName2 {
+		t.Fatal("second pair not flagged")
+	}
+	// The second handle's recorded offset must point at its bytes.
+	d := xdr.NewDecoder(body)
+	if err := d.Skip(info.FH2Offset); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fhandle.Decode(d)
+	if err != nil || got != r.ToDir {
+		t.Fatalf("FH2Offset does not locate the handle: %+v, %v", got, err)
+	}
+}
+
+func TestParseCallLink(t *testing.T) {
+	l := LinkArgs{FH: fh(9), Dir: fh(10), Name: "alias"}
+	info, err := ParseCall(ProcLink, encodeMsg(&l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FH != l.FH || info.FH2 != l.Dir || info.Name2 != "alias" {
+		t.Fatalf("link info %+v", info)
+	}
+}
+
+func TestParseCallReadDirCookie(t *testing.T) {
+	r := ReadDirArgs{Dir: fh(3), Cookie: 42, Count: 8192}
+	info, err := ParseCall(ProcReadDir, encodeMsg(&r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Offset != 42 {
+		t.Fatalf("cookie not captured: %+v", info)
+	}
+}
+
+func TestParseCallNull(t *testing.T) {
+	info, err := ParseCall(ProcNull, nil)
+	if err != nil || info.Proc != ProcNull {
+		t.Fatalf("null parse: %+v, %v", info, err)
+	}
+}
+
+func TestParseCallUnknownProc(t *testing.T) {
+	if _, err := ParseCall(Proc(17), nil); err == nil {
+		t.Fatal("READDIRPLUS (unimplemented) parsed")
+	}
+}
+
+func TestParseCallTruncated(t *testing.T) {
+	for _, proc := range []Proc{ProcGetAttr, ProcLookup, ProcRead, ProcWrite, ProcRename, ProcLink} {
+		if _, err := ParseCall(proc, []byte{1, 2, 3}); err == nil {
+			t.Errorf("%v: truncated body parsed", proc)
+		}
+	}
+}
+
+// FuzzParseCall ensures the decode path the µproxy runs on every packet
+// never panics on arbitrary bytes.
+func FuzzParseCall(f *testing.F) {
+	f.Add(uint32(ProcLookup), encodeMsg(&LookupArgs{Dir: fh(1), Name: "x"}))
+	f.Add(uint32(ProcWrite), encodeMsg(&WriteArgs{FH: fh(2), Data: []byte("d"), Count: 1}))
+	f.Add(uint32(ProcRename), []byte{})
+	f.Fuzz(func(t *testing.T, proc uint32, body []byte) {
+		_, _ = ParseCall(Proc(proc%22), body)
+	})
+}

@@ -1,0 +1,451 @@
+// Package oncrpc implements the ONC-RPC-style remote procedure call layer
+// that carries the Slice file protocol over the datagram network.
+//
+// The wire format follows RFC 1831's essentials: every message begins with
+// a transaction id (xid) and a message type; calls carry program, version,
+// and procedure numbers ahead of the argument body; replies carry an accept
+// status ahead of the result body. Field offsets are fixed and exported so
+// the µproxy can locate the procedure number and argument body of a call
+// within a raw datagram without a general decoder.
+//
+// Clients retransmit on timeout with exponential backoff — the end-to-end
+// recovery the Slice architecture relies on when the µproxy or the network
+// drops packets (§2.1). Servers keep a duplicate-request cache so that
+// retransmitted non-idempotent operations (e.g. CREATE, REMOVE) observe
+// their original reply rather than re-executing.
+package oncrpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"slice/internal/netsim"
+	"slice/internal/xdr"
+)
+
+// Message types.
+const (
+	MsgCall  = 0
+	MsgReply = 1
+)
+
+// Reply accept status (RFC 1831 accept_stat).
+const (
+	AcceptSuccess      = 0
+	AcceptProgUnavail  = 1
+	AcceptProgMismatch = 2
+	AcceptProcUnavail  = 3
+	AcceptGarbageArgs  = 4
+	AcceptSystemErr    = 5
+)
+
+// Byte offsets of call header fields within an RPC payload, exported for
+// interposed rewriters.
+const (
+	OffXid      = 0
+	OffMsgType  = 4
+	OffProgram  = 8
+	OffVersion  = 12
+	OffProc     = 16
+	CallHeader  = 20 // call body begins here
+	OffAccept   = 8  // within a reply
+	ReplyHeader = 12 // reply body begins here
+)
+
+// EncodeCall assembles an RPC call message.
+func EncodeCall(xid, prog, vers, proc uint32, args func(*xdr.Encoder)) []byte {
+	e := xdr.NewEncoder(CallHeader + 128)
+	e.PutUint32(xid)
+	e.PutUint32(MsgCall)
+	e.PutUint32(prog)
+	e.PutUint32(vers)
+	e.PutUint32(proc)
+	if args != nil {
+		args(e)
+	}
+	return e.Bytes()
+}
+
+// EncodeReply assembles an RPC reply message.
+func EncodeReply(xid, accept uint32, res func(*xdr.Encoder)) []byte {
+	e := xdr.NewEncoder(ReplyHeader + 128)
+	e.PutUint32(xid)
+	e.PutUint32(MsgReply)
+	e.PutUint32(accept)
+	if res != nil && accept == AcceptSuccess {
+		res(e)
+	}
+	return e.Bytes()
+}
+
+// Call is a decoded call header plus its argument body.
+type Call struct {
+	Xid     uint32
+	Program uint32
+	Version uint32
+	Proc    uint32
+	Body    []byte // aliases the datagram payload
+}
+
+// Reply is a decoded reply header plus its result body.
+type Reply struct {
+	Xid    uint32
+	Accept uint32
+	Body   []byte // aliases the datagram payload
+}
+
+// ErrBadMessage indicates a malformed RPC payload.
+var ErrBadMessage = errors.New("oncrpc: bad message")
+
+// IsCall reports whether the payload is an RPC call (vs a reply). It reads
+// only the message-type field.
+func IsCall(payload []byte) (bool, error) {
+	if len(payload) < OffMsgType+4 {
+		return false, fmt.Errorf("%w: short payload", ErrBadMessage)
+	}
+	d := xdr.NewDecoder(payload)
+	mt, err := d.UintAt(OffMsgType)
+	if err != nil {
+		return false, err
+	}
+	switch mt {
+	case MsgCall:
+		return true, nil
+	case MsgReply:
+		return false, nil
+	}
+	return false, fmt.Errorf("%w: message type %d", ErrBadMessage, mt)
+}
+
+// ParseCall decodes a call payload.
+func ParseCall(payload []byte) (Call, error) {
+	if len(payload) < CallHeader {
+		return Call{}, fmt.Errorf("%w: short call (%d bytes)", ErrBadMessage, len(payload))
+	}
+	d := xdr.NewDecoder(payload)
+	xid, _ := d.Uint32()
+	mt, _ := d.Uint32()
+	if mt != MsgCall {
+		return Call{}, fmt.Errorf("%w: not a call (type %d)", ErrBadMessage, mt)
+	}
+	prog, _ := d.Uint32()
+	vers, _ := d.Uint32()
+	proc, _ := d.Uint32()
+	return Call{Xid: xid, Program: prog, Version: vers, Proc: proc,
+		Body: payload[CallHeader:]}, nil
+}
+
+// ParseReply decodes a reply payload.
+func ParseReply(payload []byte) (Reply, error) {
+	if len(payload) < ReplyHeader {
+		return Reply{}, fmt.Errorf("%w: short reply (%d bytes)", ErrBadMessage, len(payload))
+	}
+	d := xdr.NewDecoder(payload)
+	xid, _ := d.Uint32()
+	mt, _ := d.Uint32()
+	if mt != MsgReply {
+		return Reply{}, fmt.Errorf("%w: not a reply (type %d)", ErrBadMessage, mt)
+	}
+	accept, _ := d.Uint32()
+	return Reply{Xid: xid, Accept: accept, Body: payload[ReplyHeader:]}, nil
+}
+
+// Conn is the datagram endpoint RPC runs over. *netsim.Port implements it
+// natively; internal/udpgate adapts a real UDP socket so clients can reach
+// a Slice ensemble across processes.
+type Conn interface {
+	SendTo(dst netsim.Addr, payload []byte) error
+	Recv(timeout time.Duration) ([]byte, error)
+	Addr() netsim.Addr
+	Close()
+}
+
+// ---------------------------------------------------------------- client
+
+// ClientConfig tunes RPC client behaviour.
+type ClientConfig struct {
+	// Timeout is the initial retransmission timeout (default 50ms).
+	Timeout time.Duration
+	// Retries is the maximum number of transmissions (default 5).
+	Retries int
+	// Backoff multiplies the timeout after each retransmission (default 2).
+	Backoff int
+}
+
+func (c *ClientConfig) defaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 50 * time.Millisecond
+	}
+	if c.Retries <= 0 {
+		c.Retries = 5
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 2
+	}
+}
+
+// ErrTimedOut is returned when all retransmissions of a call go unanswered.
+var ErrTimedOut = errors.New("oncrpc: call timed out")
+
+// ErrRejected is returned when the server rejects a call.
+type ErrRejected struct{ Accept uint32 }
+
+// Error implements the error interface.
+func (e *ErrRejected) Error() string {
+	return fmt.Sprintf("oncrpc: call rejected (accept_stat %d)", e.Accept)
+}
+
+// Client issues RPC calls to a fixed server address over a netsim port and
+// matches replies to calls by xid.
+type Client struct {
+	port   Conn
+	server netsim.Addr
+	cfg    ClientConfig
+
+	mu      sync.Mutex
+	nextXid uint32
+	pending map[uint32]chan Reply
+	closed  bool
+
+	// Retransmissions counts retransmitted calls, for tests and stats.
+	retransmissions uint64
+}
+
+// NewClient creates a client bound to port that calls the given server
+// address. The client owns the port's receive loop.
+func NewClient(port Conn, server netsim.Addr, cfg ClientConfig) *Client {
+	cfg.defaults()
+	c := &Client{
+		port:    port,
+		server:  server,
+		cfg:     cfg,
+		nextXid: 1,
+		pending: make(map[uint32]chan Reply),
+	}
+	go c.recvLoop()
+	return c
+}
+
+// Server returns the server address this client calls.
+func (c *Client) Server() netsim.Addr { return c.server }
+
+// Retransmissions returns the number of retransmitted datagrams.
+func (c *Client) Retransmissions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retransmissions
+}
+
+// Close shuts the client down; in-flight calls fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.port.Close()
+}
+
+func (c *Client) recvLoop() {
+	for {
+		d, err := c.port.Recv(0)
+		if err != nil {
+			return // port closed
+		}
+		payload := netsim.Payload(d)
+		rep, err := ParseReply(payload)
+		if err != nil {
+			continue // not a reply; ignore
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[rep.Xid]
+		if ok {
+			delete(c.pending, rep.Xid)
+		}
+		c.mu.Unlock()
+		if ok {
+			// Copy the body: the datagram buffer is reused by callers.
+			body := make([]byte, len(rep.Body))
+			copy(body, rep.Body)
+			rep.Body = body
+			ch <- rep
+		}
+	}
+}
+
+// Call issues proc of prog/vers with the encoded args and returns the
+// reply body. It retransmits on timeout.
+func (c *Client) Call(prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, netsim.ErrClosed
+	}
+	xid := c.nextXid
+	c.nextXid++
+	ch := make(chan Reply, 1)
+	c.pending[xid] = ch
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+	}()
+
+	payload := EncodeCall(xid, prog, vers, proc, args)
+	timeout := c.cfg.Timeout
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retransmissions++
+			c.mu.Unlock()
+		}
+		if err := c.port.SendTo(c.server, payload); err != nil {
+			return nil, err
+		}
+		timer := time.NewTimer(timeout)
+		select {
+		case rep := <-ch:
+			timer.Stop()
+			if rep.Accept != AcceptSuccess {
+				return nil, &ErrRejected{Accept: rep.Accept}
+			}
+			return rep.Body, nil
+		case <-timer.C:
+			timeout *= time.Duration(c.cfg.Backoff)
+		}
+	}
+	return nil, fmt.Errorf("%w: proc %d to %s after %d attempts",
+		ErrTimedOut, proc, c.server, c.cfg.Retries)
+}
+
+// ---------------------------------------------------------------- server
+
+// Handler serves the body of a single RPC call. It returns the result
+// encoder function and an accept status. Handlers run concurrently, one
+// goroutine per in-flight request.
+type Handler interface {
+	ServeRPC(call Call, from netsim.Addr) (res func(*xdr.Encoder), accept uint32)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(call Call, from netsim.Addr) (func(*xdr.Encoder), uint32)
+
+// ServeRPC implements Handler.
+func (f HandlerFunc) ServeRPC(call Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+	return f(call, from)
+}
+
+// drcEntry is a duplicate-request cache entry.
+type drcEntry struct {
+	key   drcKey
+	reply []byte
+}
+
+type drcKey struct {
+	host netsim.Addr
+	xid  uint32
+}
+
+// Server accepts RPC calls on a port and dispatches them to a handler.
+type Server struct {
+	port    Conn
+	handler Handler
+
+	mu       sync.Mutex
+	drc      map[drcKey]int // key -> index into drcRing
+	drcRing  []drcEntry
+	drcNext  int
+	inflight map[drcKey]bool
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// DRCSize is the number of replies retained for duplicate suppression.
+const DRCSize = 1024
+
+// NewServer starts serving calls arriving on port with handler.
+func NewServer(port Conn, handler Handler) *Server {
+	s := &Server{
+		port:     port,
+		handler:  handler,
+		drc:      make(map[drcKey]int),
+		drcRing:  make([]drcEntry, DRCSize),
+		inflight: make(map[drcKey]bool),
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.serveLoop()
+	return s
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() netsim.Addr { return s.port.Addr() }
+
+// Close stops the server and waits for in-flight handlers. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.port.Close()
+		close(s.closed)
+		s.wg.Wait()
+	})
+}
+
+func (s *Server) serveLoop() {
+	defer s.wg.Done()
+	for {
+		d, err := s.port.Recv(0)
+		if err != nil {
+			return
+		}
+		h, err := netsim.Parse(d)
+		if err != nil {
+			continue
+		}
+		call, err := ParseCall(netsim.Payload(d))
+		if err != nil {
+			continue
+		}
+		key := drcKey{host: h.Src, xid: call.Xid}
+
+		s.mu.Lock()
+		if idx, ok := s.drc[key]; ok {
+			// Retransmission of a completed call: replay the reply.
+			reply := s.drcRing[idx].reply
+			s.mu.Unlock()
+			_ = s.port.SendTo(h.Src, reply)
+			continue
+		}
+		if s.inflight[key] {
+			// Retransmission of an in-progress call: drop; the client
+			// will retry and eventually hit the DRC.
+			s.mu.Unlock()
+			continue
+		}
+		s.inflight[key] = true
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func(call Call, from netsim.Addr, key drcKey) {
+			defer s.wg.Done()
+			res, accept := s.handler.ServeRPC(call, from)
+			reply := EncodeReply(call.Xid, accept, res)
+
+			s.mu.Lock()
+			delete(s.inflight, key)
+			// Evict the slot we are about to reuse.
+			if old := &s.drcRing[s.drcNext]; old.reply != nil {
+				delete(s.drc, old.key)
+			}
+			s.drcRing[s.drcNext] = drcEntry{key: key, reply: reply}
+			s.drc[key] = s.drcNext
+			s.drcNext = (s.drcNext + 1) % DRCSize
+			s.mu.Unlock()
+
+			_ = s.port.SendTo(from, reply)
+		}(call, h.Src, key)
+	}
+}

@@ -1,0 +1,252 @@
+package oncrpc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slice/internal/netsim"
+	"slice/internal/xdr"
+)
+
+func newPair(t *testing.T, netCfg netsim.Config, h Handler, clientCfg ClientConfig) (*Client, *Server) {
+	t.Helper()
+	n := netsim.New(netCfg)
+	sp, err := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sp, h)
+	cp, err := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(cp, srv.Addr(), clientCfg)
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, srv
+}
+
+// echoHandler replies with the call body it received.
+var echoHandler = HandlerFunc(func(call Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+	body := append([]byte(nil), call.Body...)
+	return func(e *xdr.Encoder) { e.PutFixedOpaque(body) }, AcceptSuccess
+})
+
+func TestCallReply(t *testing.T) {
+	cli, _ := newPair(t, netsim.Config{}, echoHandler, ClientConfig{})
+	body, err := cli.Call(7, 1, 3, func(e *xdr.Encoder) { e.PutUint32(0xC0FFEE) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := xdr.NewDecoder(body).Uint32()
+	if err != nil || v != 0xC0FFEE {
+		t.Fatalf("echo = %x, %v", v, err)
+	}
+}
+
+func TestHeaderOffsets(t *testing.T) {
+	payload := EncodeCall(42, 100003, 3, 6, func(e *xdr.Encoder) { e.PutUint32(9) })
+	d := xdr.NewDecoder(payload)
+	xid, _ := d.UintAt(OffXid)
+	mt, _ := d.UintAt(OffMsgType)
+	prog, _ := d.UintAt(OffProgram)
+	vers, _ := d.UintAt(OffVersion)
+	proc, _ := d.UintAt(OffProc)
+	if xid != 42 || mt != MsgCall || prog != 100003 || vers != 3 || proc != 6 {
+		t.Fatalf("fields %d %d %d %d %d", xid, mt, prog, vers, proc)
+	}
+	call, err := ParseCall(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call.Xid != 42 || call.Proc != 6 || len(call.Body) != 4 {
+		t.Fatalf("ParseCall: %+v", call)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	if _, err := ParseCall([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short call accepted")
+	}
+	reply := EncodeReply(1, AcceptSuccess, nil)
+	if _, err := ParseCall(reply); err == nil {
+		t.Fatal("reply parsed as call")
+	}
+	call := EncodeCall(1, 2, 3, 4, nil)
+	if _, err := ParseReply(call); err == nil {
+		t.Fatal("call parsed as reply")
+	}
+}
+
+func TestIsCall(t *testing.T) {
+	c := EncodeCall(1, 2, 3, 4, nil)
+	r := EncodeReply(1, AcceptSuccess, nil)
+	if ok, err := IsCall(c); err != nil || !ok {
+		t.Fatalf("IsCall(call) = %v, %v", ok, err)
+	}
+	if ok, err := IsCall(r); err != nil || ok {
+		t.Fatalf("IsCall(reply) = %v, %v", ok, err)
+	}
+	if _, err := IsCall([]byte{0}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestRetransmissionOnLoss(t *testing.T) {
+	// 30% loss: calls must still succeed via retransmission.
+	cli, _ := newPair(t, netsim.Config{LossRate: 0.3, Seed: 5}, echoHandler,
+		ClientConfig{Timeout: 20 * time.Millisecond, Retries: 10})
+	for i := 0; i < 30; i++ {
+		if _, err := cli.Call(7, 1, 1, func(e *xdr.Encoder) { e.PutUint32(uint32(i)) }); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if cli.Retransmissions() == 0 {
+		t.Fatal("expected retransmissions under 30% loss")
+	}
+}
+
+func TestTimeoutWhenServerGone(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	cp, _ := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	cli := NewClient(cp, netsim.Addr{Host: 9, Port: 9}, ClientConfig{
+		Timeout: 5 * time.Millisecond, Retries: 2,
+	})
+	defer cli.Close()
+	_, err := cli.Call(1, 1, 1, nil)
+	if !errors.Is(err, ErrTimedOut) {
+		t.Fatalf("err = %v, want ErrTimedOut", err)
+	}
+}
+
+func TestRejectedCall(t *testing.T) {
+	h := HandlerFunc(func(call Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+		return nil, AcceptProcUnavail
+	})
+	cli, _ := newPair(t, netsim.Config{}, h, ClientConfig{})
+	_, err := cli.Call(1, 1, 99, nil)
+	var rej *ErrRejected
+	if !errors.As(err, &rej) || rej.Accept != AcceptProcUnavail {
+		t.Fatalf("err = %v, want ErrRejected{ProcUnavail}", err)
+	}
+}
+
+// TestDuplicateRequestCache verifies that a retransmitted non-idempotent
+// call executes once: the server replays the cached reply.
+func TestDuplicateRequestCache(t *testing.T) {
+	var executions atomic.Uint64
+	h := HandlerFunc(func(call Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+		n := executions.Add(1)
+		return func(e *xdr.Encoder) { e.PutUint64(n) }, AcceptSuccess
+	})
+	n := netsim.New(netsim.Config{})
+	sp, _ := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	srv := NewServer(sp, h)
+	defer srv.Close()
+	cp, _ := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	defer cp.Close()
+
+	// Send the same xid twice, manually.
+	payload := EncodeCall(1234, 7, 1, 1, nil)
+	for i := 0; i < 2; i++ {
+		if err := cp.SendTo(srv.Addr(), payload); err != nil {
+			t.Fatal(err)
+		}
+		d, err := cp.Recv(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ParseReply(netsim.Payload(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := xdr.NewDecoder(rep.Body).Uint64()
+		if v != 1 {
+			t.Fatalf("attempt %d: execution counter in reply = %d, want 1", i, v)
+		}
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("handler executed %d times, want 1", got)
+	}
+}
+
+// TestSlowHandlerRetransmitDropped: a retransmission arriving while the
+// original is still executing must not run the handler twice.
+func TestSlowHandlerRetransmitDropped(t *testing.T) {
+	var executions atomic.Uint64
+	release := make(chan struct{})
+	h := HandlerFunc(func(call Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+		executions.Add(1)
+		<-release
+		return func(e *xdr.Encoder) {}, AcceptSuccess
+	})
+	n := netsim.New(netsim.Config{})
+	sp, _ := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	srv := NewServer(sp, h)
+	defer srv.Close()
+	cp, _ := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	defer cp.Close()
+
+	payload := EncodeCall(77, 7, 1, 1, nil)
+	_ = cp.SendTo(srv.Addr(), payload)
+	time.Sleep(10 * time.Millisecond)
+	_ = cp.SendTo(srv.Addr(), payload) // retransmit while in flight
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if _, err := cp.Recv(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("handler executed %d times, want 1", got)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	cli, _ := newPair(t, netsim.Config{}, echoHandler, ClientConfig{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i uint32) {
+			defer wg.Done()
+			body, err := cli.Call(7, 1, 2, func(e *xdr.Encoder) { e.PutUint32(i) })
+			if err != nil {
+				errs <- err
+				return
+			}
+			v, _ := xdr.NewDecoder(body).Uint32()
+			if v != i {
+				errs <- errors.New("reply/call mismatch across concurrent xids")
+			}
+		}(uint32(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientCloseFailsCalls(t *testing.T) {
+	cli, _ := newPair(t, netsim.Config{}, echoHandler, ClientConfig{})
+	cli.Close()
+	if _, err := cli.Call(1, 1, 1, nil); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+// FuzzParse ensures the RPC header parsers never panic on hostile bytes —
+// they run on every datagram a server or µproxy receives.
+func FuzzParse(f *testing.F) {
+	f.Add(EncodeCall(1, 100003, 3, 6, func(e *xdr.Encoder) { e.PutUint32(9) }))
+	f.Add(EncodeReply(1, AcceptSuccess, func(e *xdr.Encoder) { e.PutUint32(9) }))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		_, _ = ParseCall(payload)
+		_, _ = ParseReply(payload)
+		_, _ = IsCall(payload)
+	})
+}

@@ -1,0 +1,292 @@
+// Package proxy implements the Slice µproxy: an interposed request router
+// that virtualizes the file service (§2.1, §3, §4.1).
+//
+// The µproxy is a network element on each client's path to the service.
+// It intercepts datagrams addressed to the virtual server, classifies each
+// request (bulk I/O, small-file I/O, name space, attributes), selects a
+// physical server with the configured routing policies, rewrites the
+// destination address and port with an incremental checksum update, and
+// forwards the packet. Responses are intercepted on the way back, have the
+// virtual server address restored, and — for I/O responses from storage
+// and small-file servers, which carry no attributes — are patched with a
+// complete attribute set from the µproxy's attribute cache.
+//
+// All µproxy state is soft: pending-request records, routing tables, the
+// attribute cache, the name cache, and block-map fragments can be
+// discarded at any time; end-to-end RPC retransmission recovers.
+package proxy
+
+import (
+	"sync"
+	"time"
+
+	"slice/internal/attr"
+	"slice/internal/fhandle"
+)
+
+// attrEntry is one attribute-cache entry. Dirty entries hold attribute
+// changes (size/mtime from I/O traffic) not yet pushed to the directory
+// server with SETATTR.
+type attrEntry struct {
+	fh      fhandle.Handle
+	at      attr.Attr
+	dirty   bool
+	touched time.Time
+}
+
+// attrCache caches file attributes observed in responses and updated by
+// I/O completions (§4.1). It is bounded; evicting a dirty entry triggers
+// writeback by the caller.
+type attrCache struct {
+	mu      sync.Mutex
+	entries map[fhandle.Key]*attrEntry
+	cap     int
+}
+
+func newAttrCache(capacity int) *attrCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &attrCache{
+		entries: make(map[fhandle.Key]*attrEntry),
+		cap:     capacity,
+	}
+}
+
+// get returns a copy of the cached attributes for fh.
+func (c *attrCache) get(fh fhandle.Handle) (attr.Attr, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[fh.Ident()]
+	if e == nil {
+		return attr.Attr{}, false
+	}
+	return e.at, true
+}
+
+// observe folds authoritative attributes from a server response into the
+// cache. If the entry is dirty, locally known size/mtime win: they reflect
+// I/O the directory server has not seen yet.
+func (c *attrCache) observe(fh fhandle.Handle, at attr.Attr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[fh.Ident()]
+	if e == nil {
+		e = &attrEntry{fh: fh}
+		c.entries[fh.Ident()] = e
+		e.at = at
+	} else if e.dirty {
+		merged := at
+		if e.at.Size > merged.Size {
+			merged.Size = e.at.Size
+		}
+		if merged.Mtime.Before(e.at.Mtime) {
+			merged.Mtime = e.at.Mtime
+		}
+		e.at = merged
+	} else {
+		e.at = at
+	}
+	e.touched = time.Now()
+}
+
+// update applies fn to the entry for fh, creating it if absent, and marks
+// it dirty. Used on I/O completions to track size and timestamps.
+func (c *attrCache) update(fh fhandle.Handle, fn func(*attr.Attr)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[fh.Ident()]
+	if e == nil {
+		e = &attrEntry{fh: fh, at: attr.Attr{
+			Type:   attr.FileType(fh.Type),
+			FileID: fh.FileID,
+			Nlink:  1,
+		}}
+		c.entries[fh.Ident()] = e
+	}
+	fn(&e.at)
+	e.dirty = true
+	e.touched = time.Now()
+}
+
+// takeDirty returns and clears the dirty flag of fh's entry, for SETATTR
+// writeback. ok is false if there was nothing dirty.
+func (c *attrCache) takeDirty(fh fhandle.Handle) (attr.Attr, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[fh.Ident()]
+	if e == nil || !e.dirty {
+		return attr.Attr{}, false
+	}
+	e.dirty = false
+	return e.at, true
+}
+
+// markDirty re-marks an entry dirty (writeback failed; retry later).
+func (c *attrCache) markDirty(fh fhandle.Handle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[fh.Ident()]; e != nil {
+		e.dirty = true
+	}
+}
+
+// allDirty snapshots every dirty entry and clears the flags; the periodic
+// writeback uses it to bound attribute drift (§4.1).
+func (c *attrCache) allDirty() []attrEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []attrEntry
+	for _, e := range c.entries {
+		if e.dirty {
+			out = append(out, *e)
+			e.dirty = false
+		}
+	}
+	return out
+}
+
+// forget drops the entry for fh (file removed).
+func (c *attrCache) forget(fh fhandle.Handle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, fh.Ident())
+}
+
+// evictOver returns entries evicted to bring the cache under capacity;
+// dirty evictees must be written back by the caller.
+func (c *attrCache) evictOver() []attrEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []attrEntry
+	for k, e := range c.entries {
+		if len(c.entries) <= c.cap {
+			break
+		}
+		out = append(out, *e)
+		delete(c.entries, k)
+	}
+	return out
+}
+
+// len returns the number of cached entries.
+func (c *attrCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// clear drops all entries (soft-state loss).
+func (c *attrCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[fhandle.Key]*attrEntry)
+}
+
+// ------------------------------------------------------------ name cache
+
+// nameKey identifies a directory entry.
+type nameKey struct {
+	parent fhandle.Key
+	name   string
+}
+
+// nameCache remembers (directory, name) → child handle bindings harvested
+// from LOOKUP/CREATE/MKDIR responses. The µproxy uses it to orchestrate
+// REMOVE (it must know the victim's handle to clear its data). Soft state.
+type nameCache struct {
+	mu      sync.Mutex
+	entries map[nameKey]fhandle.Handle
+	cap     int
+}
+
+func newNameCache(capacity int) *nameCache {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	return &nameCache{entries: make(map[nameKey]fhandle.Handle), cap: capacity}
+}
+
+func (c *nameCache) put(parent fhandle.Handle, name string, child fhandle.Handle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.cap {
+		for k := range c.entries { // random eviction
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[nameKey{parent.Ident(), name}] = child
+}
+
+func (c *nameCache) get(parent fhandle.Handle, name string) (fhandle.Handle, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fh, ok := c.entries[nameKey{parent.Ident(), name}]
+	return fh, ok
+}
+
+func (c *nameCache) drop(parent fhandle.Handle, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, nameKey{parent.Ident(), name})
+}
+
+func (c *nameCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[nameKey]fhandle.Handle)
+}
+
+// --------------------------------------------------------- block-map cache
+
+// mapCache caches per-file block-map fragments supplied by a coordinator
+// (§3.1). Fragments are fetched in chunks.
+type mapCache struct {
+	mu      sync.Mutex
+	entries map[fhandle.Key][]uint32
+}
+
+// mapChunk is how many stripes one coordinator fetch returns.
+const mapChunk = 64
+
+func newMapCache() *mapCache {
+	return &mapCache{entries: make(map[fhandle.Key][]uint32)}
+}
+
+// get returns the cached site of a stripe, or ok=false on a miss.
+func (c *mapCache) get(fh fhandle.Handle, stripe uint64) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.entries[fh.Ident()]
+	if stripe < uint64(len(m)) {
+		return m[stripe], true
+	}
+	return 0, false
+}
+
+// fill installs a fetched fragment starting at stripe first.
+func (c *mapCache) fill(fh fhandle.Handle, first uint64, sites []uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := fh.Ident()
+	m := c.entries[key]
+	need := first + uint64(len(sites))
+	for uint64(len(m)) < need {
+		m = append(m, 0)
+	}
+	copy(m[first:], sites)
+	c.entries[key] = m
+}
+
+func (c *mapCache) forget(fh fhandle.Handle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, fh.Ident())
+}
+
+func (c *mapCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[fhandle.Key][]uint32)
+}

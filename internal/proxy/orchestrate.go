@@ -1,0 +1,347 @@
+package proxy
+
+import (
+	"time"
+
+	"slice/internal/attr"
+	"slice/internal/coord"
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/storage"
+	"slice/internal/xdr"
+)
+
+// This file implements the operations the µproxy coordinates itself:
+// REMOVE and truncating SETATTR (which must clear data on multiple storage
+// sites), and COMMIT (which must make a multi-site write set durable).
+// Each follows the intention-logging protocol of §3.3.2: declare an
+// intention with the coordinator, perform the operation, then send an
+// asynchronous completion. If the µproxy dies mid-operation, the
+// coordinator times out, probes, and finishes the idempotent tail itself.
+
+// coordIntend declares an intention. With no coordinator configured it
+// returns id 0, which Complete ignores.
+func (p *Proxy) coordIntend(op uint32, fh fhandle.Handle, size uint64) uint64 {
+	if p.cfg.Coord.IsZero() {
+		return 0
+	}
+	c, err := p.rpc(p.cfg.Coord)
+	if err != nil {
+		return 0
+	}
+	body, err := c.Call(coord.Program, coord.Version, coord.ProcIntend, func(e *xdr.Encoder) {
+		e.PutUint32(op)
+		fh.Encode(e)
+		e.PutUint64(size)
+	})
+	if err != nil {
+		return 0
+	}
+	d := xdr.NewDecoder(body)
+	if st, err := d.Uint32(); err != nil || nfsproto.Status(st) != nfsproto.OK {
+		return 0
+	}
+	id, err := d.Uint64()
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// coordComplete clears an intention.
+func (p *Proxy) coordComplete(id uint64) {
+	if id == 0 || p.cfg.Coord.IsZero() {
+		return
+	}
+	c, err := p.rpc(p.cfg.Coord)
+	if err != nil {
+		return
+	}
+	_, _ = c.Call(coord.Program, coord.Version, coord.ProcComplete, func(e *xdr.Encoder) {
+		e.PutUint64(id)
+	})
+}
+
+// coordGetMap fetches a block-map fragment.
+func (p *Proxy) coordGetMap(fh fhandle.Handle, first uint64, count uint32) ([]uint32, error) {
+	c, err := p.rpc(p.cfg.Coord)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.Call(coord.Program, coord.Version, coord.ProcGetMap, func(e *xdr.Encoder) {
+		fh.Encode(e)
+		e.PutUint64(first)
+		e.PutUint32(count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := xdr.NewDecoder(body)
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if s := nfsproto.Status(st); s != nfsproto.OK {
+		return nil, s.Error()
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if err := xdr.CheckLen(n, 1<<20); err != nil {
+		return nil, err
+	}
+	sites := make([]uint32, n)
+	for i := range sites {
+		if sites[i], err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	}
+	return sites, nil
+}
+
+// capFH stamps the storage capability into a handle the µproxy sends to
+// data servers itself (no-op without a key; harmless for small-file
+// servers, which ignore the field).
+func (p *Proxy) capFH(fh fhandle.Handle) fhandle.Handle {
+	if len(p.cfg.CapKey) == 0 {
+		return fh
+	}
+	return fhandle.WithCapability(p.cfg.CapKey, fh)
+}
+
+// objOp issues a raw-object remove/truncate/stat at addr.
+func (p *Proxy) objOp(addr netsim.Addr, proc uint32, fh fhandle.Handle, extra func(*xdr.Encoder)) {
+	c, err := p.rpc(addr)
+	if err != nil {
+		return
+	}
+	p.st.initiated.Add(1)
+	capped := p.capFH(fh)
+	_, _ = c.Call(storage.ObjProgram, storage.ObjVersion, proc, func(e *xdr.Encoder) {
+		capped.Encode(e)
+		if extra != nil {
+			extra(e)
+		}
+	})
+}
+
+// dataSites enumerates the sites that may hold data of fh: its small-file
+// server and — when the file extends past the threshold, or its size is
+// unknown — every storage node.
+func (p *Proxy) dataSites(fh fhandle.Handle) []netsim.Addr {
+	var out []netsim.Addr
+	if p.cfg.IO.SmallFile != nil {
+		if a, err := p.cfg.IO.SmallFileServer(fh); err == nil {
+			out = append(out, a)
+		}
+	}
+	large := true
+	if at, ok := p.attrs.get(fh); ok && at.Size < p.cfg.IO.Threshold {
+		large = false
+	}
+	if large {
+		seen := make(map[netsim.Addr]bool)
+		for _, a := range p.cfg.IO.Storage.Physical() {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// resolveChild finds the handle bound to (dir, name), first in the name
+// cache, then by an own LOOKUP to the responsible directory server.
+func (p *Proxy) resolveChild(dir fhandle.Handle, name string) (fhandle.Handle, bool) {
+	if fh, ok := p.names.get(dir, name); ok {
+		return fh, true
+	}
+	info := nfsproto.RequestInfo{Proc: nfsproto.ProcLookup, FH: dir, Name: name, HasName: true}
+	addr, err := p.cfg.Names.AddrFor(&info)
+	if err != nil {
+		return fhandle.Handle{}, false
+	}
+	var res nfsproto.LookupRes
+	if err := p.nfsCall(addr, nfsproto.ProcLookup, &nfsproto.LookupArgs{Dir: dir, Name: name}, &res); err != nil {
+		return fhandle.Handle{}, false
+	}
+	if res.Status != nfsproto.OK {
+		return fhandle.Handle{}, false
+	}
+	if res.Attr.Present {
+		p.attrs.observe(res.FH, res.Attr.Attr)
+	}
+	p.names.put(dir, name, res.FH)
+	return res.FH, true
+}
+
+// routeRemove forwards REMOVE to the directory server with an onOK hook
+// that clears the victim's data across the storage sites under an
+// intention, then forgets its soft state.
+func (p *Proxy) routeRemove(d []byte, client netsim.Addr, key pendKey, pd *pendingReq, body []byte) {
+	addr, err := p.cfg.Names.AddrFor(&pd.info)
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	dir, name := pd.info.FH, pd.info.Name
+	child, known := p.resolveChild(dir, name)
+
+	pd.onOK = func() {
+		p.names.drop(dir, name)
+		if !known || child.Type == uint8(attr.TypeDir) {
+			return
+		}
+		// Clear data only when the last link went away. The attribute
+		// cache is soft state and its link count may be stale (e.g. a
+		// LINK the µproxy never saw), so ask the directory server: after
+		// a remove, a live attribute cell means other names remain;
+		// ESTALE means the file is gone and its data must be cleared.
+		var ga nfsproto.GetAttrRes
+		gaInfo := nfsproto.RequestInfo{Proc: nfsproto.ProcGetAttr, FH: child}
+		if addr, err := p.cfg.Names.AddrFor(&gaInfo); err == nil {
+			if err := p.nfsCall(addr, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: child}, &ga); err == nil && ga.Status == nfsproto.OK {
+				p.attrs.observe(child, ga.Attr)
+				return // still linked: keep the data
+			}
+		}
+		id := p.coordIntend(coord.OpRemove, child, 0)
+		for _, site := range p.dataSites(child) {
+			p.objOp(site, storage.ObjProcRemove, child, nil)
+		}
+		p.coordComplete(id)
+		p.attrs.forget(child)
+		p.maps.forget(child)
+	}
+	p.forward(d, key, pd, addr)
+}
+
+// routeSetAttr forwards SETATTR; truncating updates additionally clear
+// data beyond the new size on every data site, under an intention.
+func (p *Proxy) routeSetAttr(d []byte, client netsim.Addr, key pendKey, pd *pendingReq, body []byte) {
+	var args nfsproto.SetAttrArgs
+	if err := args.Decode(xdr.NewDecoder(body)); err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	addr, err := p.cfg.Names.AddrFor(&pd.info)
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	if args.Sattr.SetSize {
+		fh, size := args.FH, args.Sattr.Size
+		pd.onOK = func() {
+			id := p.coordIntend(coord.OpTruncate, fh, size)
+			for _, site := range p.dataSites(fh) {
+				p.objOp(site, storage.ObjProcTruncate, fh, func(e *xdr.Encoder) {
+					e.PutUint64(size)
+				})
+			}
+			p.coordComplete(id)
+			now := attr.FromGo(time.Now())
+			p.attrs.update(fh, func(a *attr.Attr) {
+				a.Size = size
+				a.Mtime = now
+				a.Ctime = now
+			})
+			p.maps.forget(fh)
+		}
+	}
+	p.forward(d, key, pd, addr)
+}
+
+// absorbCommit answers COMMIT without forwarding it: the µproxy pushes the
+// file's dirty attributes to the directory server, declares a commit
+// intention, commits every involved data site, clears the intention, and
+// synthesizes the reply. This is the consistent write commitment of §4.2.
+func (p *Proxy) absorbCommit(client netsim.Addr, xid uint32, info nfsproto.RequestInfo) {
+	fh := info.FH
+	p.pushAttrs(fh)
+
+	id := p.coordIntend(coord.OpCommit, fh, uint64(info.Count))
+	var verf uint64
+	for _, site := range p.dataSites(fh) {
+		var res nfsproto.CommitRes
+		if err := p.nfsCall(site, nfsproto.ProcCommit, &nfsproto.CommitArgs{
+			FH: p.capFH(fh), Offset: info.Offset, Count: info.Count,
+		}, &res); err == nil && res.Status == nfsproto.OK {
+			verf ^= res.Verf
+		}
+	}
+	p.coordComplete(id)
+
+	res := nfsproto.CommitRes{Status: nfsproto.OK, Verf: verf}
+	if at, ok := p.attrs.get(fh); ok {
+		res.Attr = nfsproto.Some(at)
+	}
+	payload := oncrpc.EncodeReply(xid, oncrpc.AcceptSuccess, res.Encode)
+	out, err := netsim.Build(p.cfg.Virtual, client, payload)
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	p.st.absorbed.Add(1)
+	p.st.responses.Add(1)
+	_ = p.cfg.Net.Inject(out)
+}
+
+// pushAttrs writes the file's dirty cached attributes back to its
+// directory server with SETATTR (§4.1: on commit interception and on
+// eviction).
+func (p *Proxy) pushAttrs(fh fhandle.Handle) {
+	at, ok := p.attrs.takeDirty(fh)
+	if !ok {
+		return
+	}
+	info := nfsproto.RequestInfo{Proc: nfsproto.ProcSetAttr, FH: fh}
+	addr, err := p.cfg.Names.AddrFor(&info)
+	if err != nil {
+		p.attrs.markDirty(fh)
+		return
+	}
+	args := nfsproto.SetAttrArgs{FH: fh, Sattr: attr.SetAttr{
+		SetSize: true, Size: at.Size,
+		SetMtime: true, Mtime: at.Mtime,
+		SetAtime: true, Atime: at.Atime,
+	}}
+	var res nfsproto.SetAttrRes
+	if err := p.nfsCall(addr, nfsproto.ProcSetAttr, &args, &res); err != nil || res.Status != nfsproto.OK {
+		p.attrs.markDirty(fh)
+	}
+}
+
+// WritebackAttrs pushes every dirty attribute entry to the directory
+// servers and evicts entries over the cache bound, writing back dirty
+// evictees. The background flusher calls this at WritebackInterval; tests
+// and the commit path call it directly.
+func (p *Proxy) WritebackAttrs() {
+	for _, e := range p.attrs.allDirty() {
+		p.pushOne(e.fh, e.at)
+	}
+	for _, e := range p.attrs.evictOver() {
+		if e.dirty {
+			p.pushOne(e.fh, e.at)
+		}
+	}
+}
+
+// pushOne writes one attribute set back without consulting the cache.
+func (p *Proxy) pushOne(fh fhandle.Handle, at attr.Attr) {
+	info := nfsproto.RequestInfo{Proc: nfsproto.ProcSetAttr, FH: fh}
+	addr, err := p.cfg.Names.AddrFor(&info)
+	if err != nil {
+		return
+	}
+	args := nfsproto.SetAttrArgs{FH: fh, Sattr: attr.SetAttr{
+		SetSize: true, Size: at.Size,
+		SetMtime: true, Mtime: at.Mtime,
+		SetAtime: true, Atime: at.Atime,
+	}}
+	var res nfsproto.SetAttrRes
+	_ = p.nfsCall(addr, nfsproto.ProcSetAttr, &args, &res)
+}

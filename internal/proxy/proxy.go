@@ -1,0 +1,521 @@
+package proxy
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/route"
+	"slice/internal/xdr"
+)
+
+// MountProgram mirrors dirsrv.MountProgram without importing the package
+// (the µproxy layers below the servers).
+const (
+	mountProgram = 100005
+)
+
+// capFieldOffset is the byte offset of the CellKey/capability field within
+// a marshalled file handle (see fhandle.Handle layout).
+const capFieldOffset = 16
+
+// Config configures a µproxy.
+type Config struct {
+	// Net is the fabric the µproxy taps.
+	Net *netsim.Network
+	// Host is the host address the µproxy binds its own client ports on.
+	Host uint32
+	// Virtual is the virtual NFS server address presented to clients.
+	Virtual netsim.Addr
+	// IO routes read/write/commit traffic.
+	IO *route.IOPolicy
+	// Names routes name-space and attribute traffic.
+	Names *route.NamePolicy
+	// Coord is the block-service coordinator; zero disables intention
+	// logging and block maps.
+	Coord netsim.Addr
+	// MountSite is the directory site serving MOUNT (default 0).
+	MountSite uint32
+	// AttrCacheSize bounds the attribute cache (default 4096).
+	AttrCacheSize int
+	// NameCacheSize bounds the name cache (default 8192).
+	NameCacheSize int
+	// WritebackInterval bounds attribute drift: dirty attributes are
+	// pushed to the directory servers at this period. Zero disables the
+	// background flusher (tests drive writeback explicitly).
+	WritebackInterval time.Duration
+	// CapKey, when set, is the storage-service capability key: the
+	// µproxy stamps a keyed fingerprint into the handle of every request
+	// it routes to a storage node (in place, with an incremental
+	// checksum fix), authorizing the access under the §2.2 secure-object
+	// model. Clients that bypass the µproxy cannot mint capabilities and
+	// are refused by the storage nodes.
+	CapKey []byte
+}
+
+// pendKey identifies a pending request record: the client endpoint plus
+// the RPC transaction id.
+type pendKey struct {
+	client netsim.Addr
+	xid    uint32
+}
+
+// pendingReq is the soft-state record of one in-flight request.
+type pendingReq struct {
+	proc nfsproto.Proc
+	prog uint32
+	info nfsproto.RequestInfo
+
+	// targets are the physical servers the request was routed to, kept
+	// so client retransmissions are re-forwarded along the same path
+	// (the servers' duplicate-request caches absorb the repeats).
+	targets []netsim.Addr
+
+	// expect is the number of replies still awaited (mirrored writes
+	// expect one per replica); replied dedups per-replica replies, since
+	// retransmissions make servers replay theirs.
+	expect  int
+	replied map[netsim.Addr]bool
+	// errReply holds the first non-OK reply body of a multi-target
+	// request so the worst outcome is what the client sees.
+	errReply []byte
+
+	// onOK runs (in the response goroutine) when a successful reply
+	// arrives, before it is forwarded; orchestration hooks use it.
+	onOK func()
+}
+
+// Proxy is one interposed request router.
+type Proxy struct {
+	cfg Config
+
+	mu   sync.Mutex
+	pend map[pendKey]*pendingReq
+
+	attrs *attrCache
+	names *nameCache
+	maps  *mapCache
+
+	clientsMu sync.Mutex
+	clients   map[netsim.Addr]*oncrpc.Client
+
+	st        stageCounters
+	stopCh    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New creates a µproxy and registers it as a tap on the network.
+func New(cfg Config) *Proxy {
+	p := &Proxy{
+		cfg:     cfg,
+		pend:    make(map[pendKey]*pendingReq),
+		attrs:   newAttrCache(cfg.AttrCacheSize),
+		names:   newNameCache(cfg.NameCacheSize),
+		maps:    newMapCache(),
+		clients: make(map[netsim.Addr]*oncrpc.Client),
+		stopCh:  make(chan struct{}),
+	}
+	cfg.Net.AddTap(p)
+	if cfg.WritebackInterval > 0 {
+		p.wg.Add(1)
+		go p.writebackLoop()
+	}
+	return p
+}
+
+// Close detaches the µproxy from the network and stops its helpers.
+// It is idempotent.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() {
+		p.cfg.Net.RemoveTap(p)
+		close(p.stopCh)
+		p.wg.Wait()
+		p.clientsMu.Lock()
+		for _, c := range p.clients {
+			c.Close()
+		}
+		p.clientsMu.Unlock()
+	})
+}
+
+// Stats returns a snapshot of the per-stage CPU accounting.
+func (p *Proxy) Stats() StageStats { return p.st.snapshot() }
+
+// FlushSoftState discards all soft state: pending request records and all
+// caches. The architecture guarantees correctness across this (§2.1);
+// clients recover by retransmission. Dirty attributes are pushed first so
+// only timestamps within the drift bound are lost.
+func (p *Proxy) FlushSoftState() {
+	p.WritebackAttrs()
+	p.mu.Lock()
+	p.pend = make(map[pendKey]*pendingReq)
+	p.mu.Unlock()
+	p.attrs.clear()
+	p.names.clear()
+	p.maps.clear()
+}
+
+// DropSoftState discards soft state without writeback, simulating a
+// µproxy crash (uncommitted attribute updates are lost, as §4.1 permits).
+func (p *Proxy) DropSoftState() {
+	p.mu.Lock()
+	p.pend = make(map[pendKey]*pendingReq)
+	p.mu.Unlock()
+	p.attrs.clear()
+	p.names.clear()
+	p.maps.clear()
+}
+
+// CachedAttr exposes the attribute cache for tests and for the client-side
+// of attribute patching.
+func (p *Proxy) CachedAttr(fh fhandle.Handle) (bool, uint64) {
+	at, ok := p.attrs.get(fh)
+	return ok, at.Size
+}
+
+// Handle implements netsim.Tap: the packet-filter entry point.
+func (p *Proxy) Handle(d []byte) netsim.Verdict {
+	t0 := time.Now()
+	p.st.intercepted.Add(1)
+	if len(d) < netsim.HeaderSize+oncrpc.ReplyHeader {
+		return netsim.Pass
+	}
+	dst := netsim.Addr{
+		Host: binary.BigEndian.Uint32(d[netsim.OffDstHost:]),
+		Port: binary.BigEndian.Uint16(d[netsim.OffDstPort:]),
+	}
+	payload := d[netsim.HeaderSize:]
+	mtype := binary.BigEndian.Uint32(payload[oncrpc.OffMsgType:])
+
+	if dst == p.cfg.Virtual && mtype == oncrpc.MsgCall {
+		p.st.interceptNS.Add(uint64(time.Since(t0)))
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handleRequest(d)
+		}()
+		return netsim.Consumed
+	}
+	if mtype == oncrpc.MsgReply {
+		xid := binary.BigEndian.Uint32(payload[oncrpc.OffXid:])
+		key := pendKey{client: dst, xid: xid}
+		p.mu.Lock()
+		_, ok := p.pend[key]
+		p.mu.Unlock()
+		if ok {
+			p.st.interceptNS.Add(uint64(time.Since(t0)))
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.handleResponse(d, key)
+			}()
+			return netsim.Consumed
+		}
+	}
+	p.st.interceptNS.Add(uint64(time.Since(t0)))
+	return netsim.Pass
+}
+
+// handleRequest classifies and routes one intercepted call.
+func (p *Proxy) handleRequest(d []byte) {
+	t0 := time.Now()
+	h, err := netsim.Parse(d)
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	call, err := oncrpc.ParseCall(netsim.Payload(d))
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	key := pendKey{client: h.Src, xid: call.Xid}
+
+	// Retransmission while the original is in flight: the forwarded
+	// packet or its reply may have been lost past the µproxy, so the
+	// retransmission must be re-forwarded along the recorded path; the
+	// servers' duplicate-request caches absorb genuine repeats. (A
+	// µproxy that swallowed retransmissions would turn one lost packet
+	// into a permanently stuck request — the end-to-end recovery of
+	// §2.1 depends on the µproxy staying transparent to retries.)
+	p.mu.Lock()
+	if pd, busy := p.pend[key]; busy {
+		targets := pd.targets
+		info := pd.info
+		p.mu.Unlock()
+		p.st.decodeNS.Add(uint64(time.Since(t0)))
+		// Storage-bound retransmissions need the capability re-stamped:
+		// the client resends the raw handle.
+		if len(p.cfg.CapKey) > 0 && !p.cfg.IO.SmallFileTarget(info.Offset) &&
+			(nfsproto.Proc(call.Proc) == nfsproto.ProcRead ||
+				nfsproto.Proc(call.Proc) == nfsproto.ProcWrite) {
+			capVal := fhandle.Capability(p.cfg.CapKey, info.FH)
+			off := netsim.HeaderSize + oncrpc.CallHeader + info.FHOffset + capFieldOffset
+			_ = netsim.RewriteUint64(d, off, capVal)
+		}
+		for i, target := range targets {
+			dup := d
+			if i > 0 {
+				dup = make([]byte, len(d))
+				copy(dup, d)
+			}
+			netsim.RewriteDst(dup, target)
+			_ = p.cfg.Net.Inject(dup)
+		}
+		return
+	}
+	p.mu.Unlock()
+
+	if call.Program == mountProgram {
+		p.st.decodeNS.Add(uint64(time.Since(t0)))
+		addr, err := p.cfg.Names.Dirs.Lookup(p.cfg.MountSite)
+		if err != nil {
+			p.st.dropped.Add(1)
+			return
+		}
+		p.forward(d, key, &pendingReq{prog: call.Program, expect: 1}, addr)
+		return
+	}
+	if call.Program != nfsproto.Program {
+		p.st.dropped.Add(1)
+		return
+	}
+
+	proc := nfsproto.Proc(call.Proc)
+	info, err := nfsproto.ParseCall(proc, call.Body)
+	p.st.decodeNS.Add(uint64(time.Since(t0)))
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+
+	pd := &pendingReq{proc: proc, prog: call.Program, info: info, expect: 1}
+
+	switch proc {
+	case nfsproto.ProcCommit:
+		// Commit is absorbed: the µproxy coordinates multi-site commit
+		// itself and answers the client (§3.3.2, §4.1).
+		p.absorbCommit(h.Src, call.Xid, info)
+		return
+	case nfsproto.ProcRemove:
+		p.routeRemove(d, h.Src, key, pd, call.Body)
+		return
+	case nfsproto.ProcSetAttr:
+		p.routeSetAttr(d, h.Src, key, pd, call.Body)
+		return
+	case nfsproto.ProcRead, nfsproto.ProcWrite:
+		p.routeIO(d, key, pd)
+		return
+	default:
+		t1 := time.Now()
+		addr, err := p.cfg.Names.AddrFor(&pd.info)
+		if err != nil {
+			p.st.dropped.Add(1)
+			return
+		}
+		p.st.rewriteNS.Add(uint64(time.Since(t1)))
+		p.forward(d, key, pd, addr)
+	}
+}
+
+// routeIO directs a read or write at the small-file server or the storage
+// array per the threshold and striping policies (§3.1).
+func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) {
+	t0 := time.Now()
+	info := &pd.info
+	io := p.cfg.IO
+
+	if io.SmallFileTarget(info.Offset) {
+		addr, err := io.SmallFileServer(info.FH)
+		if err != nil {
+			p.st.dropped.Add(1)
+			return
+		}
+		p.st.rewriteNS.Add(uint64(time.Since(t0)))
+		p.forward(d, key, pd, addr)
+		return
+	}
+
+	// Requests bound for storage nodes carry a capability: rewrite the
+	// handle's capability field in the raw datagram and repair the
+	// checksum incrementally (same mechanism as address redirection).
+	if len(p.cfg.CapKey) > 0 {
+		capVal := fhandle.Capability(p.cfg.CapKey, info.FH)
+		off := netsim.HeaderSize + oncrpc.CallHeader + info.FHOffset + capFieldOffset
+		if err := netsim.RewriteUint64(d, off, capVal); err != nil {
+			p.st.dropped.Add(1)
+			return
+		}
+	}
+
+	stripe := io.StripeIndex(info.Offset)
+	if info.Proc == nfsproto.ProcWrite && info.FH.Mirrored() {
+		targets, err := p.writeTargets(info.FH, stripe)
+		if err != nil || len(targets) == 0 {
+			p.st.dropped.Add(1)
+			return
+		}
+		pd.expect = len(targets)
+		p.st.rewriteNS.Add(uint64(time.Since(t0)))
+		p.forwardMulti(d, key, pd, targets)
+		return
+	}
+
+	var addr netsim.Addr
+	var err error
+	if info.Proc == nfsproto.ProcRead {
+		addr, err = p.readTarget(info.FH, stripe)
+	} else {
+		var ts []netsim.Addr
+		ts, err = p.writeTargets(info.FH, stripe)
+		if err == nil {
+			addr = ts[0]
+		}
+	}
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	p.st.rewriteNS.Add(uint64(time.Since(t0)))
+	p.forward(d, key, pd, addr)
+}
+
+// readTarget resolves the storage node for a read, consulting block maps
+// for mapped files and the static placement function otherwise.
+func (p *Proxy) readTarget(fh fhandle.Handle, stripe uint64) (netsim.Addr, error) {
+	if fh.Mapped() && !p.cfg.Coord.IsZero() {
+		site, err := p.mappedSite(fh, stripe)
+		if err != nil {
+			return netsim.Addr{}, err
+		}
+		return p.cfg.IO.Storage.Lookup(site)
+	}
+	return p.cfg.IO.ReadTarget(fh, stripe)
+}
+
+// writeTargets resolves the storage nodes for a write (all replicas).
+func (p *Proxy) writeTargets(fh fhandle.Handle, stripe uint64) ([]netsim.Addr, error) {
+	if fh.Mapped() && !p.cfg.Coord.IsZero() && !fh.Mirrored() {
+		site, err := p.mappedSite(fh, stripe)
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.cfg.IO.Storage.Lookup(site)
+		if err != nil {
+			return nil, err
+		}
+		return []netsim.Addr{a}, nil
+	}
+	return p.cfg.IO.WriteTargets(fh, stripe)
+}
+
+// mappedSite returns the block-map site for a stripe, fetching a fragment
+// from the coordinator on a miss.
+func (p *Proxy) mappedSite(fh fhandle.Handle, stripe uint64) (uint32, error) {
+	if site, ok := p.maps.get(fh, stripe); ok {
+		return site, nil
+	}
+	first := stripe - stripe%mapChunk
+	sites, err := p.coordGetMap(fh, first, mapChunk)
+	if err != nil {
+		return 0, err
+	}
+	p.maps.fill(fh, first, sites)
+	site, ok := p.maps.get(fh, stripe)
+	if !ok {
+		return 0, route.ErrEmptyTable
+	}
+	return site, nil
+}
+
+// forward registers the pending record, rewrites the destination in place
+// (incremental checksum update), and reinjects the datagram.
+func (p *Proxy) forward(d []byte, key pendKey, pd *pendingReq, target netsim.Addr) {
+	t0 := time.Now()
+	pd.targets = []netsim.Addr{target}
+	p.mu.Lock()
+	p.pend[key] = pd
+	p.mu.Unlock()
+	p.st.softStateNS.Add(uint64(time.Since(t0)))
+
+	t1 := time.Now()
+	netsim.RewriteDst(d, target)
+	p.st.rewriteNS.Add(uint64(time.Since(t1)))
+	p.st.requests.Add(1)
+	_ = p.cfg.Net.Inject(d)
+}
+
+// forwardMulti replicates the datagram to several targets (mirrored
+// writes). Each copy keeps the client's source address and xid so replies
+// pair with the same pending record.
+func (p *Proxy) forwardMulti(d []byte, key pendKey, pd *pendingReq, targets []netsim.Addr) {
+	t0 := time.Now()
+	pd.targets = targets
+	p.mu.Lock()
+	p.pend[key] = pd
+	p.mu.Unlock()
+	p.st.softStateNS.Add(uint64(time.Since(t0)))
+
+	t1 := time.Now()
+	for i, target := range targets {
+		dup := d
+		if i > 0 {
+			dup = make([]byte, len(d))
+			copy(dup, d)
+		}
+		netsim.RewriteDst(dup, target)
+		_ = p.cfg.Net.Inject(dup)
+	}
+	p.st.rewriteNS.Add(uint64(time.Since(t1)))
+	p.st.requests.Add(1)
+}
+
+// rpc returns a client for addr, creating one on first use.
+func (p *Proxy) rpc(addr netsim.Addr) (*oncrpc.Client, error) {
+	p.clientsMu.Lock()
+	defer p.clientsMu.Unlock()
+	if c, ok := p.clients[addr]; ok {
+		return c, nil
+	}
+	port, err := p.cfg.Net.BindAny(p.cfg.Host)
+	if err != nil {
+		return nil, err
+	}
+	c := oncrpc.NewClient(port, addr, oncrpc.ClientConfig{})
+	p.clients[addr] = c
+	return c, nil
+}
+
+// nfsCall issues an NFS call the µproxy originates itself (lookups for
+// remove orchestration, setattr writeback, commit fan-out).
+func (p *Proxy) nfsCall(addr netsim.Addr, proc nfsproto.Proc, args nfsproto.Msg, res nfsproto.Msg) error {
+	c, err := p.rpc(addr)
+	if err != nil {
+		return err
+	}
+	p.st.initiated.Add(1)
+	body, err := c.Call(nfsproto.Program, nfsproto.Version, uint32(proc), args.Encode)
+	if err != nil {
+		return err
+	}
+	return res.Decode(xdr.NewDecoder(body))
+}
+
+func (p *Proxy) writebackLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.cfg.WritebackInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case <-tick.C:
+			p.WritebackAttrs()
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package proxy
+
+import (
+	"time"
+
+	"slice/internal/attr"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/xdr"
+)
+
+// handleResponse pairs a server reply with its pending record, harvests
+// and patches attributes, restores the virtual server as the source, and
+// forwards the reply to the client.
+func (p *Proxy) handleResponse(d []byte, key pendKey) {
+	t0 := time.Now()
+	h, err := netsim.Parse(d)
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	rep, err := oncrpc.ParseReply(netsim.Payload(d))
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	p.mu.Lock()
+	pd := p.pend[key]
+	if pd == nil {
+		p.mu.Unlock()
+		// Soft state was lost (or a duplicate reply); drop. The client
+		// retransmits and the server's duplicate cache replays.
+		return
+	}
+	if len(pd.targets) > 1 {
+		// Mirrored fan-out: count each replica once, even when
+		// retransmissions made it reply several times.
+		if pd.replied == nil {
+			pd.replied = make(map[netsim.Addr]bool, len(pd.targets))
+		}
+		if pd.replied[h.Src] {
+			p.mu.Unlock()
+			return
+		}
+		pd.replied[h.Src] = true
+	}
+	pd.expect--
+	if pd.expect > 0 {
+		// A mirrored write still awaiting replicas. Remember the first
+		// failure so the client sees the worst outcome.
+		if rep.Accept == oncrpc.AcceptSuccess && replyStatus(pd.proc, rep.Body) != nfsproto.OK && pd.errReply == nil {
+			pd.errReply = append([]byte(nil), rep.Body...)
+		}
+		p.mu.Unlock()
+		p.st.softStateNS.Add(uint64(time.Since(t0)))
+		return
+	}
+	delete(p.pend, key)
+	errReply := pd.errReply
+	p.mu.Unlock()
+	p.st.softStateNS.Add(uint64(time.Since(t0)))
+
+	if errReply != nil {
+		rep.Body = errReply
+	}
+
+	if rep.Accept == oncrpc.AcceptSuccess && pd.onOK != nil &&
+		replyStatus(pd.proc, rep.Body) == nfsproto.OK {
+		pd.onOK()
+	}
+
+	if pd.prog != nfsproto.Program || rep.Accept != oncrpc.AcceptSuccess {
+		p.passThrough(d, key)
+		return
+	}
+
+	switch pd.proc {
+	case nfsproto.ProcRead, nfsproto.ProcWrite:
+		p.respondIO(d, key, pd, rep)
+	case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir, nfsproto.ProcSymlink:
+		p.respondChild(d, key, pd, rep)
+	case nfsproto.ProcGetAttr:
+		p.respondGetAttr(d, key, pd, rep)
+	case nfsproto.ProcLink:
+		// Harvest the updated link count: the remove orchestration's
+		// fast path depends on the cache tracking links it routed.
+		var res nfsproto.LinkRes
+		if err := res.Decode(xdr.NewDecoder(rep.Body)); err == nil && res.Status == nfsproto.OK {
+			if res.Attr.Present {
+				p.attrs.observe(pd.info.FH, res.Attr.Attr)
+			}
+			if pd.info.HasName2 {
+				p.names.put(pd.info.FH2, pd.info.Name2, pd.info.FH)
+			}
+		}
+		p.passThrough(d, key)
+	case nfsproto.ProcRename:
+		p.names.drop(pd.info.FH, pd.info.Name)
+		if pd.info.HasName2 {
+			p.names.drop(pd.info.FH2, pd.info.Name2)
+		}
+		p.passThrough(d, key)
+	case nfsproto.ProcRmdir:
+		p.names.drop(pd.info.FH, pd.info.Name)
+		p.passThrough(d, key)
+	default:
+		p.passThrough(d, key)
+	}
+}
+
+// replyStatus peeks at the leading NFS status of a reply body.
+func replyStatus(proc nfsproto.Proc, body []byte) nfsproto.Status {
+	if proc == nfsproto.ProcNull {
+		return nfsproto.OK
+	}
+	d := xdr.NewDecoder(body)
+	st, err := d.Uint32()
+	if err != nil {
+		return nfsproto.ErrServerFault
+	}
+	return nfsproto.Status(st)
+}
+
+// passThrough restores the virtual server address as the packet source
+// with an incremental checksum fix, and delivers it to the client.
+func (p *Proxy) passThrough(d []byte, key pendKey) {
+	t0 := time.Now()
+	netsim.RewriteSrc(d, p.cfg.Virtual)
+	p.st.rewriteNS.Add(uint64(time.Since(t0)))
+	p.st.responses.Add(1)
+	_ = p.cfg.Net.Inject(d)
+}
+
+// respondIO patches a complete attribute set into a storage-node or
+// small-file-server reply, which carries none, and updates the attribute
+// cache to reflect the I/O (§4.1). The reply is re-encoded because the
+// optional attribute block changes the body length.
+func (p *Proxy) respondIO(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Reply) {
+	t0 := time.Now()
+	fh := pd.info.FH
+	now := attr.FromGo(time.Now())
+
+	var body func(*xdr.Encoder)
+	switch pd.proc {
+	case nfsproto.ProcRead:
+		var res nfsproto.ReadRes
+		if err := res.Decode(xdr.NewDecoder(rep.Body)); err != nil {
+			p.st.dropped.Add(1)
+			return
+		}
+		if res.Status == nfsproto.OK {
+			p.attrs.update(fh, func(a *attr.Attr) { a.Atime = now })
+		}
+		at, ok := p.attrs.get(fh)
+		if !ok && res.Status == nfsproto.OK && res.EOF {
+			// EOF from a storage or small-file server reflects only its
+			// local region of a striped file; with no cached size to
+			// correct against (soft state was lost), fetch authoritative
+			// attributes rather than surface a false EOF mid-file.
+			var ga nfsproto.GetAttrRes
+			gaInfo := nfsproto.RequestInfo{Proc: nfsproto.ProcGetAttr, FH: fh}
+			if addr, err := p.cfg.Names.AddrFor(&gaInfo); err == nil {
+				if err := p.nfsCall(addr, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: fh}, &ga); err == nil && ga.Status == nfsproto.OK {
+					p.attrs.observe(fh, ga.Attr)
+					at, ok = p.attrs.get(fh)
+				}
+			}
+		}
+		if ok {
+			res.Attr = nfsproto.Some(at)
+			// EOF from a data server reflects only its local object;
+			// correct it against the authoritative size.
+			if res.Status == nfsproto.OK {
+				res.EOF = pd.info.Offset+uint64(res.Count) >= at.Size
+			}
+		}
+		body = res.Encode
+
+	case nfsproto.ProcWrite:
+		var res nfsproto.WriteRes
+		if err := res.Decode(xdr.NewDecoder(rep.Body)); err != nil {
+			p.st.dropped.Add(1)
+			return
+		}
+		if res.Status == nfsproto.OK {
+			end := pd.info.Offset + uint64(res.Count)
+			p.attrs.update(fh, func(a *attr.Attr) {
+				if end > a.Size {
+					a.Size = end
+					a.Used = (end + 8191) &^ 8191
+				}
+				a.Mtime = now
+				a.Ctime = now
+			})
+		}
+		if at, ok := p.attrs.get(fh); ok {
+			res.Attr = nfsproto.Some(at)
+		}
+		body = res.Encode
+
+	default:
+		p.passThrough(d, key)
+		return
+	}
+	p.st.softStateNS.Add(uint64(time.Since(t0)))
+
+	t1 := time.Now()
+	payload := oncrpc.EncodeReply(key.xid, oncrpc.AcceptSuccess, body)
+	out, err := netsim.Build(p.cfg.Virtual, key.client, payload)
+	p.st.rewriteNS.Add(uint64(time.Since(t1)))
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	p.st.responses.Add(1)
+	_ = p.cfg.Net.Inject(out)
+}
+
+// respondChild harvests the (name → handle) binding and child attributes
+// from LOOKUP/CREATE/MKDIR replies, then forwards the reply with the
+// child's attributes patched from the (possibly fresher) attribute cache:
+// the µproxy's view of size and timestamps reflects I/O the directory
+// server has not yet seen (§4.1). LookupRes and CreateRes share a wire
+// layout, so one decode path serves all three procedures.
+func (p *Proxy) respondChild(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Reply) {
+	t0 := time.Now()
+	var res nfsproto.LookupRes
+	if err := res.Decode(xdr.NewDecoder(rep.Body)); err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	if res.Status != nfsproto.OK {
+		p.st.softStateNS.Add(uint64(time.Since(t0)))
+		p.passThrough(d, key)
+		return
+	}
+	if pd.info.HasName {
+		p.names.put(pd.info.FH, pd.info.Name, res.FH)
+	}
+	if res.Attr.Present {
+		p.attrs.observe(res.FH, res.Attr.Attr)
+	}
+	if res.DirAttr.Present {
+		p.attrs.observe(pd.info.FH, res.DirAttr.Attr)
+	}
+	if at, ok := p.attrs.get(res.FH); ok {
+		res.Attr = nfsproto.Some(at)
+	}
+	p.st.softStateNS.Add(uint64(time.Since(t0)))
+	p.respondEncoded(key, res.Encode)
+}
+
+// respondGetAttr folds a GETATTR reply into the attribute cache, then
+// answers the client with the merged attributes (local dirty size/mtime
+// win over the directory server's stale view).
+func (p *Proxy) respondGetAttr(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Reply) {
+	t0 := time.Now()
+	var res nfsproto.GetAttrRes
+	if err := res.Decode(xdr.NewDecoder(rep.Body)); err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	if res.Status != nfsproto.OK {
+		p.st.softStateNS.Add(uint64(time.Since(t0)))
+		p.passThrough(d, key)
+		return
+	}
+	p.attrs.observe(pd.info.FH, res.Attr)
+	if at, ok := p.attrs.get(pd.info.FH); ok {
+		res.Attr = at
+	}
+	p.st.softStateNS.Add(uint64(time.Since(t0)))
+	p.respondEncoded(key, res.Encode)
+}
+
+// respondEncoded builds a fresh reply datagram from the virtual server to
+// the client and injects it.
+func (p *Proxy) respondEncoded(key pendKey, body func(*xdr.Encoder)) {
+	t1 := time.Now()
+	payload := oncrpc.EncodeReply(key.xid, oncrpc.AcceptSuccess, body)
+	out, err := netsim.Build(p.cfg.Virtual, key.client, payload)
+	p.st.rewriteNS.Add(uint64(time.Since(t1)))
+	if err != nil {
+		p.st.dropped.Add(1)
+		return
+	}
+	p.st.responses.Add(1)
+	_ = p.cfg.Net.Inject(out)
+}

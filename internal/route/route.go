@@ -1,0 +1,393 @@
+// Package route implements the Slice request routing policies (§3): the
+// compact routing tables mapping logical server sites to physical servers,
+// the threshold policy separating small-file I/O from bulk I/O, static and
+// mirrored striping placement for bulk I/O, and the two name-space
+// policies, mkdir switching and name hashing.
+//
+// The same policy code drives both the live µproxy (internal/proxy) and
+// the discrete-event performance simulator (internal/sim), so the
+// experiments measure the behaviour of the code that actually routes
+// requests.
+package route
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+)
+
+// Table maps logical server site IDs to physical server addresses. The
+// number of logical sites fixes the table size and the minimum granularity
+// of rebalancing (§3.3.1); multiple logical sites may map to one physical
+// server. Tables are soft state in the µproxy: the mapping is determined
+// externally, and Swap installs a new binding without disturbing readers.
+type Table struct {
+	mu      sync.RWMutex
+	sites   []netsim.Addr // logical -> physical
+	version uint64
+}
+
+// ErrEmptyTable is returned when routing through a table with no sites.
+var ErrEmptyTable = errors.New("route: empty table")
+
+// NewTable builds a table with the given number of logical sites bound
+// round-robin over the physical servers. logical < len(physical) is
+// raised to len(physical) so that every server is reachable.
+func NewTable(logical int, physical []netsim.Addr) *Table {
+	if logical < len(physical) {
+		logical = len(physical)
+	}
+	t := &Table{}
+	t.bind(logical, physical)
+	return t
+}
+
+func (t *Table) bind(logical int, physical []netsim.Addr) {
+	if len(physical) == 0 {
+		t.sites = nil
+		t.version++
+		return
+	}
+	sites := make([]netsim.Addr, logical)
+	for i := range sites {
+		sites[i] = physical[i%len(physical)]
+	}
+	t.sites = sites
+	t.version++
+}
+
+// Swap rebinds the table to a new physical server set, preserving the
+// number of logical sites. This is the reconfiguration step of §3.3.1:
+// after adding or removing a server, only the logical→physical binding
+// changes; request keys keep hashing to the same logical sites.
+func (t *Table) Swap(physical []netsim.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bind(len(t.sites), physical)
+}
+
+// NumLogical returns the number of logical sites.
+func (t *Table) NumLogical() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.sites)
+}
+
+// Version returns the table generation, incremented by every Swap.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Site returns the logical site for a 64-bit key.
+func (t *Table) Site(key uint64) uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.sites) == 0 {
+		return 0
+	}
+	return uint32(key % uint64(len(t.sites)))
+}
+
+// Lookup returns the physical address bound to a logical site.
+func (t *Table) Lookup(site uint32) (netsim.Addr, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.sites) == 0 {
+		return netsim.Addr{}, ErrEmptyTable
+	}
+	return t.sites[int(site)%len(t.sites)], nil
+}
+
+// Route maps a key to a physical address in one step.
+func (t *Table) Route(key uint64) (netsim.Addr, error) {
+	return t.Lookup(t.Site(key))
+}
+
+// Physical returns a copy of the current logical→physical binding.
+func (t *Table) Physical() []netsim.Addr {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]netsim.Addr, len(t.sites))
+	copy(out, t.sites)
+	return out
+}
+
+// ------------------------------------------------------------- I/O policy
+
+// Defaults for the I/O routing policy, from §3.1 and §5 of the paper.
+const (
+	// DefaultThreshold is the small-file threshold offset: I/O below this
+	// offset goes to small-file servers, at or above it to storage nodes.
+	DefaultThreshold = 64 * 1024
+	// DefaultStripeUnit is the striping granularity for bulk I/O.
+	DefaultStripeUnit = 32 * 1024
+)
+
+// IOTarget describes where one I/O request (or one fragment of it) goes.
+type IOTarget struct {
+	Addr  netsim.Addr
+	Small bool // true if the target is a small-file server
+}
+
+// IOPolicy routes read/write/commit traffic. It separates small-file
+// traffic from bulk I/O at a fixed threshold offset and declusters bulk
+// blocks across the storage array with striping, optionally mirrored.
+type IOPolicy struct {
+	Threshold  uint64 // small-file threshold offset in bytes
+	StripeUnit uint64 // bulk striping unit in bytes
+	SmallFile  *Table // small-file servers (nil disables separation)
+	Storage    *Table // storage nodes
+}
+
+// NewIOPolicy returns an I/O policy with default threshold and stripe unit.
+func NewIOPolicy(smallFile, storage *Table) *IOPolicy {
+	return &IOPolicy{
+		Threshold:  DefaultThreshold,
+		StripeUnit: DefaultStripeUnit,
+		SmallFile:  smallFile,
+		Storage:    storage,
+	}
+}
+
+// SmallFileTarget reports whether an I/O at offset on fh routes to a
+// small-file server, per the fixed-threshold policy: small-file servers
+// receive all I/O below the threshold, even on large files (§3.1).
+func (p *IOPolicy) SmallFileTarget(offset uint64) bool {
+	return p.SmallFile != nil && offset < p.Threshold
+}
+
+// SmallFileServer selects the small-file server for fh, keyed on the
+// handle so a file's small-file blocks always live at one site.
+func (p *IOPolicy) SmallFileServer(fh fhandle.Handle) (netsim.Addr, error) {
+	if p.SmallFile == nil {
+		return netsim.Addr{}, ErrEmptyTable
+	}
+	return p.SmallFile.Route(fhandle.HandleKey(fh))
+}
+
+// StripeIndex returns the stripe unit index of a byte offset.
+func (p *IOPolicy) StripeIndex(offset uint64) uint64 {
+	if p.StripeUnit == 0 {
+		return 0
+	}
+	return offset / p.StripeUnit
+}
+
+// placementKey spreads files across the array so all files do not start on
+// storage node 0.
+func placementKey(fh fhandle.Handle, stripe uint64) uint64 {
+	return fhandle.HandleKey(fh) + stripe
+}
+
+// StorageSites returns the logical storage sites holding the given stripe
+// of fh: one site for unmirrored files, MirrorDegree consecutive sites for
+// mirrored files (§3.1, mirrored striping).
+func (p *IOPolicy) StorageSites(fh fhandle.Handle, stripe uint64) []uint32 {
+	n := p.Storage.NumLogical()
+	if n == 0 {
+		return nil
+	}
+	base := p.Storage.Site(placementKey(fh, stripe))
+	degree := 1
+	if fh.Mirrored() {
+		degree = int(fh.MirrorDegree)
+		if degree > n {
+			degree = n
+		}
+	}
+	sites := make([]uint32, degree)
+	for i := range sites {
+		sites[i] = uint32((int(base) + i) % n)
+	}
+	return sites
+}
+
+// WriteTargets returns every storage node that must receive a write of the
+// given stripe: all replicas for mirrored files.
+func (p *IOPolicy) WriteTargets(fh fhandle.Handle, stripe uint64) ([]netsim.Addr, error) {
+	sites := p.StorageSites(fh, stripe)
+	if len(sites) == 0 {
+		return nil, ErrEmptyTable
+	}
+	addrs := make([]netsim.Addr, len(sites))
+	for i, s := range sites {
+		a, err := p.Storage.Lookup(s)
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = a
+	}
+	return addrs, nil
+}
+
+// ReadTarget returns the storage node to read the given stripe from. For
+// mirrored files it alternates between replicas to balance load across the
+// mirrors, as the prototype's client µproxies do. The replica choice mixes
+// the stripe index through a multiplicative hash: a simple stripe%degree
+// alternation correlates with the striping function itself (both advance
+// by one per stripe) and would concentrate all reads on half the array.
+func (p *IOPolicy) ReadTarget(fh fhandle.Handle, stripe uint64) (netsim.Addr, error) {
+	sites := p.StorageSites(fh, stripe)
+	if len(sites) == 0 {
+		return netsim.Addr{}, ErrEmptyTable
+	}
+	replica := (stripe * 0x9E3779B97F4A7C15) >> 32 % uint64(len(sites))
+	return p.Storage.Lookup(sites[replica])
+}
+
+// SpanStripes reports the stripe indices [first, last] covered by an I/O
+// of count bytes at offset.
+func (p *IOPolicy) SpanStripes(offset uint64, count uint32) (uint64, uint64) {
+	if count == 0 {
+		s := p.StripeIndex(offset)
+		return s, s
+	}
+	return p.StripeIndex(offset), p.StripeIndex(offset + uint64(count) - 1)
+}
+
+// ------------------------------------------------------------ name policy
+
+// NameKind selects the name-space routing policy.
+type NameKind int
+
+// Name-space policies of §3.2.
+const (
+	// MkdirSwitching routes name operations to the parent directory's
+	// site, except that each mkdir is redirected with probability P to a
+	// site chosen by hashing (parent, name).
+	MkdirSwitching NameKind = iota
+	// NameHashing routes every name operation by a hash of the name and
+	// its position in the tree, spreading each directory's entries over
+	// all sites.
+	NameHashing
+)
+
+// String names the policy.
+func (k NameKind) String() string {
+	if k == NameHashing {
+		return "name-hashing"
+	}
+	return "mkdir-switching"
+}
+
+// NamePolicy routes name-space and attribute operations to directory
+// servers.
+type NamePolicy struct {
+	Kind NameKind
+	// P is the mkdir redirection probability (mkdir switching only).
+	// Directory affinity is 1-P.
+	P float64
+	// Dirs is the directory server table.
+	Dirs *Table
+
+	redirects atomic.Uint64 // mkdirs redirected away from the parent site
+	mkdirs    atomic.Uint64
+}
+
+// NewNamePolicy builds a name routing policy over the directory table.
+func NewNamePolicy(kind NameKind, p float64, dirs *Table) *NamePolicy {
+	return &NamePolicy{Kind: kind, P: p, Dirs: dirs}
+}
+
+// redirectDecision makes the probability-P choice for a mkdir
+// deterministically from (parent, name), so retransmissions of the same
+// request route identically. The low 32 bits of the name key are compared
+// against P scaled to 2^32.
+func (np *NamePolicy) redirectDecision(parent fhandle.Handle, name string) bool {
+	if np.P <= 0 {
+		return false
+	}
+	if np.P >= 1 {
+		return true
+	}
+	key := fhandle.NameKey(parent, name)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], key)
+	// Use an independent portion of the hash from the one used for site
+	// selection, so the redirect decision and the target site are not
+	// correlated.
+	sample := binary.BigEndian.Uint32(b[:4])
+	return float64(sample) < np.P*(1<<32)
+}
+
+// RedirectStats reports (mkdirs seen, mkdirs redirected).
+func (np *NamePolicy) RedirectStats() (uint64, uint64) {
+	return np.mkdirs.Load(), np.redirects.Load()
+}
+
+// SiteFor returns the logical directory site for a parsed request. The
+// second result reports whether this mkdir was redirected away from its
+// parent's site (an "orphan" placement, §3.3.2).
+func (np *NamePolicy) SiteFor(info *nfsproto.RequestInfo) (uint32, bool) {
+	switch np.Kind {
+	case NameHashing:
+		return np.siteNameHashing(info), false
+	default:
+		return np.siteMkdirSwitching(info)
+	}
+}
+
+func (np *NamePolicy) siteMkdirSwitching(info *nfsproto.RequestInfo) (uint32, bool) {
+	// Route by the owning site recorded in the parent handle; the
+	// directory server placed it there at create time (fixed placement).
+	// LINK's new entry lives under its target directory (the second
+	// handle), not under the linked file's site.
+	parent := info.FH
+	if info.Proc == nfsproto.ProcLink && info.HasFH2 {
+		parent = info.FH2
+	}
+	parentSite := parent.Site % uint32(max(1, np.Dirs.NumLogical()))
+	if info.Proc == nfsproto.ProcMkdir {
+		np.mkdirs.Add(1)
+		if np.redirectDecision(info.FH, info.Name) {
+			site := np.Dirs.Site(fhandle.NameKey(info.FH, info.Name))
+			if site != parentSite {
+				np.redirects.Add(1)
+				return site, true
+			}
+			return site, false
+		}
+	}
+	return parentSite, false
+}
+
+func (np *NamePolicy) siteNameHashing(info *nfsproto.RequestInfo) uint32 {
+	switch info.Proc {
+	case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir,
+		nfsproto.ProcSymlink, nfsproto.ProcRemove, nfsproto.ProcRmdir:
+		// Conflicting operations on a name entry hash to the same site
+		// and serialize on its hash chain.
+		return np.Dirs.Site(fhandle.NameKey(info.FH, info.Name))
+	case nfsproto.ProcRename:
+		// Route to the source entry's site; the server coordinates with
+		// the destination site (implemented as link + remove, §4.3).
+		return np.Dirs.Site(fhandle.NameKey(info.FH, info.Name))
+	case nfsproto.ProcLink:
+		// New name entry site.
+		return np.Dirs.Site(fhandle.NameKey(info.FH2, info.Name2))
+	default:
+		// Handle-keyed operations (getattr/setattr/access/readdir) go to
+		// the attribute cell's owner site recorded in the handle.
+		return info.FH.Site % uint32(max(1, np.Dirs.NumLogical()))
+	}
+}
+
+// AddrFor routes a request to a physical directory server.
+func (np *NamePolicy) AddrFor(info *nfsproto.RequestInfo) (netsim.Addr, error) {
+	site, _ := np.SiteFor(info)
+	return np.Dirs.Lookup(site)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package sim
+
+// Calibration constants for the simulated testbed. Each value is taken
+// from, or fitted to, a number the paper itself reports in §5; DESIGN.md
+// and EXPERIMENTS.md discuss the substitution. Absolute results therefore
+// track the paper's hardware by construction, but the *curves* — scaling
+// with servers, saturation knees, crossover points, policy effects — are
+// emergent from queueing and from the real routing code.
+const (
+	// --- Client host (450 MHz PII, FreeBSD NFS/UDP stack) ---
+
+	// ClientWritePerByte is the client CPU cost per written byte; the
+	// paper measured the stack saturating below 40 MB/s.
+	ClientWritePerByte = 1.0 / (40e6)
+	// ClientReadPerByte reflects the zero-copy read path (62.5 MB/s).
+	ClientReadPerByte = 1.0 / (62.5e6)
+	// ClientMirrorWritePerByte is the cost per byte when the client
+	// writes both mirrors (fitted to the 32.2 MB/s row of Table 2:
+	// packet-level costs double, page-level costs do not).
+	ClientMirrorWritePerByte = 1.0 / (32.2e6)
+	// ClientMirrorReadPerByte is fitted to the 52.9 MB/s row.
+	ClientMirrorReadPerByte = 1.0 / (52.9e6)
+	// TunedClientPerByte is used for the saturation columns, where the
+	// paper drove the array to its limits (the client stack was not the
+	// bottleneck in those runs).
+	TunedClientPerByte = 1.0 / (80e6)
+
+	// --- Storage nodes (Dell 4400, 8 Cheetahs on one channel) ---
+
+	// NodeSourceBW / NodeSinkBW are per-node streaming limits: "each
+	// storage node sources reads to the network at 55 MB/s and sinks
+	// writes at 60 MB/s" (§5).
+	NodeSourceBW = 55e6
+	NodeSinkBW   = 60e6
+	// MirrorReadSourceEff models the prefetched-but-unused data when
+	// client µproxies alternate between mirrors: effective source
+	// bandwidth halves (437→222 MB/s in Table 2).
+	MirrorReadSourceEff = 0.5
+	// DisksPerNode: eight Cheetah drives per storage node.
+	DisksPerNode = 8
+	// DiskPositioning is the average positioning time per small I/O
+	// (seek + rotational latency for a Cheetah-class drive).
+	DiskPositioning = 8.0e-3
+	// DiskTransferBW is the per-arm media rate (33 MB/s raw, §5).
+	DiskTransferBW = 33e6
+
+	// --- File managers ---
+
+	// DirOpTime: "each server saturates at 6000 ops/s" (§5), including
+	// journaling overhead.
+	DirOpTime = 1.0 / 6000
+	// DirPeerOpTime is the extra remote work for a two-site operation
+	// (redirected mkdir, orphan rmdir, cross-site link update).
+	DirPeerOpTime = DirOpTime
+	// DirLogBytesPerOp: 0.5 MB/s of log traffic at 6000 ops/s.
+	DirLogBytesPerOp = 83
+	// MFSOpTime is the baseline single-server (memory filesystem) cost
+	// per name operation: lower than a Slice directory server — no
+	// journaling, no distribution — which is why N-MFS wins at light
+	// load in Figure 3 before its one CPU saturates.
+	MFSOpTime = 1.0 / 7200
+	// SmallFileOpTime is the small-file server CPU cost per I/O.
+	SmallFileOpTime = 80e-6
+	// SmallFileCacheBytes: the ensemble's small-file cache whose
+	// overflow produces the latency jumps in Figure 6 ("1 GB cache on
+	// the small-file servers").
+	SmallFileCacheBytes = 1 << 30
+
+	// --- Client node CPU for name-intensive workloads ---
+
+	// ClientOpTime is the client-side CPU per NFS op (RPC stack plus the
+	// interposed µproxy's 6.1%, Table 3).
+	ClientOpTime = 120e-6
+	// ClientNodes is the number of client machines driving Figure 3
+	// (five client PCs, §5).
+	ClientNodes = 5
+
+	// --- Untar workload (Figures 3 and 4) ---
+
+	// UntarFilesPerProcess: each process creates 36,000 files and
+	// directories generating 250,000 NFS operations (§5).
+	UntarFilesPerProcess = 36000
+	// UntarOpsPerCreate: each file create generates seven NFS ops:
+	// lookup, access, create, getattr, lookup, setattr, setattr.
+	UntarOpsPerCreate = 7
+	// UntarDirFraction approximates the FreeBSD source tree's ratio of
+	// directories to total entries.
+	UntarDirFraction = 0.08
+
+	// --- SPECsfs97 (Figures 5 and 6) ---
+
+	// SfsBaselineOpTime is fitted to the single FreeBSD NFS server
+	// baseline saturating at 850 IOPS (§5): the full name+data+FFS path
+	// on one CPU with a CCD-concatenated volume.
+	SfsBaselineOpTime = 1.0 / 870
+	// SfsFilesetBytesPerIOPS: SPECsfs97 self-scales its file set with
+	// offered load, about 10 MB per op/s.
+	SfsFilesetBytesPerIOPS = 10e6
+	// SfsMeanXfer is the average transfer size of SPECsfs data ops (the
+	// file set is skewed to small files: 94% ≤ 64KB).
+	SfsMeanXfer = 8192
+	// SfsDiskOpsBase is the per-op disk-visit rate with a warm cache
+	// (metadata flushes, write-behind).
+	SfsDiskOpsBase = 0.25
+	// SfsDiskOpsMissMax is the additional per-op disk-visit rate when
+	// the cache is fully overflowed (every read misses, creates flush).
+	SfsDiskOpsMissMax = 0.9
+)
+
+// SfsOpMix is the SPECsfs97 NFS V3 operation mix. Operations the Slice
+// prototype does not implement (readlink, readdirplus, fsinfo) are folded
+// into equivalent-cost name-space operations, as they route identically.
+var SfsOpMix = []struct {
+	Name string
+	Frac float64
+	Kind SfsOpKind
+}{
+	{"getattr", 0.11, SfsOpName},
+	{"setattr", 0.01, SfsOpName},
+	{"lookup", 0.27, SfsOpName},
+	{"access", 0.07, SfsOpName},
+	{"readlink", 0.07, SfsOpName}, // folded: routes like lookup
+	{"read", 0.18, SfsOpRead},
+	{"write", 0.09, SfsOpWrite},
+	{"create", 0.01, SfsOpCreate},
+	{"remove", 0.01, SfsOpCreate},
+	{"readdir", 0.02, SfsOpName},
+	{"readdirplus", 0.09, SfsOpName}, // folded: routes like readdir
+	{"fsstat", 0.01, SfsOpName},
+	{"fsinfo", 0.01, SfsOpName},
+	{"commit", 0.05, SfsOpWrite},
+}
+
+// SfsOpKind partitions the mix by the resources an operation consumes.
+type SfsOpKind int
+
+// Kinds of SPECsfs operations.
+const (
+	SfsOpName SfsOpKind = iota // directory/attribute traffic
+	SfsOpRead
+	SfsOpWrite
+	SfsOpCreate // name op that also dirties metadata on disk
+)

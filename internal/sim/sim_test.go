@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"slice/internal/route"
+)
+
+// --------------------------------------------------------------- engine
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.At(2.0, func() { order = append(order, 2) })
+	eng.At(1.0, func() { order = append(order, 1) })
+	eng.At(1.0, func() { order = append(order, 11) }) // FIFO among ties
+	eng.At(3.0, func() { order = append(order, 3) })
+	end := eng.Run(0)
+	if end != 3.0 {
+		t.Fatalf("end time %v", end)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.At(10, func() { fired = true })
+	eng.Run(5)
+	if fired {
+		t.Fatal("event beyond the bound fired")
+	}
+	if eng.Now() != 5 {
+		t.Fatalf("now = %v", eng.Now())
+	}
+}
+
+func TestStationFCFSSingleServer(t *testing.T) {
+	eng := NewEngine()
+	st := NewStation(eng, "cpu", 1)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		st.Visit(1.0, func() { done = append(done, eng.Now()) })
+	}
+	eng.Run(0)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-9 {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+	if u := st.Utilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("utilization %v", u)
+	}
+	if st.Served != 3 {
+		t.Fatalf("served %d", st.Served)
+	}
+}
+
+func TestStationMultiServer(t *testing.T) {
+	eng := NewEngine()
+	st := NewStation(eng, "disks", 2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		st.Visit(1.0, func() { done = append(done, eng.Now()) })
+	}
+	eng.Run(0)
+	// Two at a time: completions at 1,1,2,2.
+	if done[1] != 1.0 || done[3] != 2.0 {
+		t.Fatalf("completions %v", done)
+	}
+}
+
+func TestChain(t *testing.T) {
+	eng := NewEngine()
+	a := NewStation(eng, "a", 1)
+	b := NewStation(eng, "b", 1)
+	var end float64
+	Chain([]Stop{{a, 1}, {b, 2}}, func() { end = eng.Now() })
+	eng.Run(0)
+	if end != 3 {
+		t.Fatalf("chain end %v", end)
+	}
+}
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := newRng(42), newRng(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	// Exponential mean sanity.
+	r := newRng(7)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	if mean := sum / n; mean < 1.9 || mean > 2.1 {
+		t.Fatalf("Exp mean %v, want ≈2", mean)
+	}
+}
+
+// --------------------------------------------------------------- Table 2
+
+func TestBulkSingleClientMatchesPaperShape(t *testing.T) {
+	read := RunBulk(BulkConfig{Clients: 1, Write: false})
+	write := RunBulk(BulkConfig{Clients: 1, Write: true})
+	// Paper: read 62.5 MB/s, write 38.9 MB/s (client-stack-bound).
+	if read.PerClientMBps < 55 || read.PerClientMBps > 68 {
+		t.Fatalf("single-client read %.1f MB/s, want ≈62.5", read.PerClientMBps)
+	}
+	if write.PerClientMBps < 34 || write.PerClientMBps > 43 {
+		t.Fatalf("single-client write %.1f MB/s, want ≈38.9", write.PerClientMBps)
+	}
+	if read.PerClientMBps <= write.PerClientMBps {
+		t.Fatal("reads should outrun writes on the client stack")
+	}
+}
+
+func TestBulkSaturationScalesWithNodes(t *testing.T) {
+	sat := func(nodes int) float64 {
+		return RunBulk(BulkConfig{StorageNodes: nodes, Clients: 16, Write: false, Tuned: true}).AggregateMBps
+	}
+	s8, s4 := sat(8), sat(4)
+	// Paper: 437 MB/s from 8 nodes sourcing 55 MB/s each.
+	if s8 < 390 || s8 > 450 {
+		t.Fatalf("8-node read saturation %.0f MB/s, want ≈437", s8)
+	}
+	if ratio := s8 / s4; ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("8 vs 4 nodes ratio %.2f, want ≈2 (bandwidth scales with nodes)", ratio)
+	}
+	w8 := RunBulk(BulkConfig{StorageNodes: 8, Clients: 16, Write: true, Tuned: true}).AggregateMBps
+	if w8 < 430 || w8 > 490 {
+		t.Fatalf("8-node write saturation %.0f MB/s, want ≈479", w8)
+	}
+}
+
+func TestBulkMirroringCosts(t *testing.T) {
+	read := RunBulk(BulkConfig{Clients: 1, Write: false})
+	mread := RunBulk(BulkConfig{Clients: 1, Write: false, Mirrored: true})
+	if mread.PerClientMBps >= read.PerClientMBps {
+		t.Fatal("mirrored read should be slower (unused prefetch)")
+	}
+	write := RunBulk(BulkConfig{Clients: 1, Write: true})
+	mwrite := RunBulk(BulkConfig{Clients: 1, Write: true, Mirrored: true})
+	if mwrite.PerClientMBps >= write.PerClientMBps {
+		t.Fatal("mirrored write should be slower (two replicas)")
+	}
+	// Saturation: mirrored writes consume double sink bandwidth.
+	w := RunBulk(BulkConfig{StorageNodes: 8, Clients: 16, Write: true, Tuned: true})
+	mw := RunBulk(BulkConfig{StorageNodes: 8, Clients: 16, Write: true, Mirrored: true, Tuned: true})
+	if ratio := w.AggregateMBps / mw.AggregateMBps; ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("mirrored write halves capacity: ratio %.2f, want ≈2", ratio)
+	}
+	// Mirrored read saturation: prefetch waste halves source bandwidth.
+	r := RunBulk(BulkConfig{StorageNodes: 8, Clients: 16, Tuned: true})
+	mr := RunBulk(BulkConfig{StorageNodes: 8, Clients: 16, Mirrored: true, Tuned: true})
+	if ratio := r.AggregateMBps / mr.AggregateMBps; ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("mirrored read saturation ratio %.2f, want ≈2", ratio)
+	}
+}
+
+// --------------------------------------------------------------- Figure 3
+
+func TestUntarMFSWinsAtLightLoad(t *testing.T) {
+	mfs := RunUntar(UntarConfig{Baseline: true, Processes: 1})
+	slice1 := RunUntar(UntarConfig{DirServers: 1, Processes: 1, Kind: route.MkdirSwitching, P: 1})
+	if mfs.MeanLatency >= slice1.MeanLatency {
+		t.Fatalf("MFS %.1fs vs Slice-1 %.1fs: baseline should win at light load (no journaling)",
+			mfs.MeanLatency, slice1.MeanLatency)
+	}
+}
+
+func TestUntarSliceScalesWithServers(t *testing.T) {
+	procs := 16
+	lat := func(n int) float64 {
+		return RunUntar(UntarConfig{
+			DirServers: n, Processes: procs,
+			Kind: route.MkdirSwitching, P: 1.0 / float64(n),
+		}).MeanLatency
+	}
+	l1, l2, l4 := lat(1), lat(2), lat(4)
+	if !(l4 < l2 && l2 < l1) {
+		t.Fatalf("latency not improving with servers: 1→%.1f 2→%.1f 4→%.1f", l1, l2, l4)
+	}
+	// Under heavy load the MFS baseline saturates and Slice-4 wins.
+	mfs := RunUntar(UntarConfig{Baseline: true, Processes: procs})
+	if l4 >= mfs.MeanLatency {
+		t.Fatalf("Slice-4 %.1fs vs MFS %.1fs at %d processes: request routing should win",
+			l4, mfs.MeanLatency, procs)
+	}
+}
+
+func TestUntarPoliciesPerformIdentically(t *testing.T) {
+	// §5: "in this test, in which the name space spans many directories,
+	// mkdir switching and name hashing perform identically."
+	sw := RunUntar(UntarConfig{DirServers: 4, Processes: 8, Kind: route.MkdirSwitching, P: 0.25})
+	nh := RunUntar(UntarConfig{DirServers: 4, Processes: 8, Kind: route.NameHashing})
+	diff := math.Abs(sw.MeanLatency-nh.MeanLatency) / sw.MeanLatency
+	if diff > 0.15 {
+		t.Fatalf("policies differ by %.0f%% (switching %.1fs, hashing %.1fs), want ≈identical",
+			diff*100, sw.MeanLatency, nh.MeanLatency)
+	}
+}
+
+func TestUntarServerSaturationRate(t *testing.T) {
+	// A saturated directory server serves ≈6000 ops/s (§5).
+	res := RunUntar(UntarConfig{DirServers: 1, Processes: 8, Kind: route.MkdirSwitching})
+	if res.OpsPerSec < 5200 || res.OpsPerSec > 6800 {
+		t.Fatalf("saturated throughput %.0f ops/s, want ≈6000", res.OpsPerSec)
+	}
+	if res.ServerUtil[0] < 0.95 {
+		t.Fatalf("server utilization %.2f under 8 processes, want ≈1", res.ServerUtil[0])
+	}
+}
+
+// --------------------------------------------------------------- Figure 4
+
+func TestAffinityTradeoff(t *testing.T) {
+	lat := func(affinity float64, procs int) float64 {
+		return RunUntar(UntarConfig{
+			DirServers: 4, Processes: procs, ClientNodes: 4,
+			Kind: route.MkdirSwitching, P: 1 - affinity,
+		}).MeanLatency
+	}
+	// Light load: affinity barely matters (a single server keeps up).
+	l0, l100 := lat(0, 1), lat(1.0, 1)
+	if diff := math.Abs(l0-l100) / l100; diff > 0.25 {
+		t.Fatalf("1 process: affinity swings latency by %.0f%%", diff*100)
+	}
+	// Heavy load: full affinity collapses everything onto one server.
+	h80, h100 := lat(0.8, 16), lat(1.0, 16)
+	if h100 <= h80*1.5 {
+		t.Fatalf("16 processes: affinity 100%% (%.1fs) should degrade well past 80%% (%.1fs)",
+			h100, h80)
+	}
+	// Moderate affinity beats zero affinity slightly (fewer cross-site
+	// operations), or at least does not lose.
+	z, m := lat(0, 16), lat(0.6, 16)
+	if m > z*1.10 {
+		t.Fatalf("16 processes: affinity 60%% (%.1fs) much worse than 0%% (%.1fs)", m, z)
+	}
+}
+
+func TestAffinityImbalanceVisibleInUtilization(t *testing.T) {
+	res := RunUntar(UntarConfig{
+		DirServers: 4, Processes: 16, ClientNodes: 4,
+		Kind: route.MkdirSwitching, P: 0, // affinity 1.0
+	})
+	// Everything descends from the root's site: exactly one hot server.
+	hot, cold := 0.0, 1.0
+	for _, u := range res.ServerUtil {
+		if u > hot {
+			hot = u
+		}
+		if u < cold {
+			cold = u
+		}
+	}
+	if hot < 0.9 || cold > 0.1 {
+		t.Fatalf("affinity 1.0 utilizations %v: expected one hot server", res.ServerUtil)
+	}
+}
+
+// ------------------------------------------------------------- Figures 5/6
+
+func TestSfsBaselineSaturatesNear850(t *testing.T) {
+	res := RunSfs(SfsConfig{Baseline: true, StorageNodes: 1, OfferedIOPS: 3000})
+	if res.DeliveredIOPS < 700 || res.DeliveredIOPS > 1000 {
+		t.Fatalf("baseline saturation %.0f IOPS, want ≈850", res.DeliveredIOPS)
+	}
+}
+
+func TestSfsSliceScalesWithStorageNodes(t *testing.T) {
+	sat := func(nodes int) float64 {
+		return RunSfs(SfsConfig{StorageNodes: nodes, OfferedIOPS: 9000, Seed: 3}).DeliveredIOPS
+	}
+	s1, s8 := sat(1), sat(8)
+	if s8 < 5200 || s8 > 8000 {
+		t.Fatalf("Slice-8 saturation %.0f IOPS, want ≈6600", s8)
+	}
+	if ratio := s8 / s1; ratio < 4 || ratio > 10 {
+		t.Fatalf("Slice-8/Slice-1 ratio %.1f, want roughly linear in storage nodes", ratio)
+	}
+	// Slice-1 beats the 850-IOPS baseline (faster directory operations).
+	base := RunSfs(SfsConfig{Baseline: true, StorageNodes: 1, OfferedIOPS: 9000}).DeliveredIOPS
+	if s1 <= base {
+		t.Fatalf("Slice-1 (%.0f) should beat the NFS baseline (%.0f)", s1, base)
+	}
+}
+
+func TestSfsDeliveredTracksOfferedBelowSaturation(t *testing.T) {
+	res := RunSfs(SfsConfig{StorageNodes: 8, OfferedIOPS: 1000})
+	if math.Abs(res.DeliveredIOPS-1000)/1000 > 0.1 {
+		t.Fatalf("delivered %.0f at offered 1000: should track below saturation", res.DeliveredIOPS)
+	}
+}
+
+func TestSfsLatencyRisesWithLoadAndCacheOverflow(t *testing.T) {
+	low := RunSfs(SfsConfig{StorageNodes: 8, OfferedIOPS: 300})
+	mid := RunSfs(SfsConfig{StorageNodes: 8, OfferedIOPS: 3000})
+	high := RunSfs(SfsConfig{StorageNodes: 8, OfferedIOPS: 6200})
+	if !(low.MeanLatencyMs < mid.MeanLatencyMs && mid.MeanLatencyMs < high.MeanLatencyMs) {
+		t.Fatalf("latency not monotone: %.2f %.2f %.2f ms",
+			low.MeanLatencyMs, mid.MeanLatencyMs, high.MeanLatencyMs)
+	}
+	if low.MissFactor != 0 && low.OfferedIOPS < 200 {
+		t.Fatalf("cache overflowed at tiny load: miss=%.2f", low.MissFactor)
+	}
+	if high.MissFactor < 0.5 {
+		t.Fatalf("cache not overflowed at high load: miss=%.2f", high.MissFactor)
+	}
+}
+
+func TestSfsDisksAreTheBottleneck(t *testing.T) {
+	res := RunSfs(SfsConfig{StorageNodes: 2, OfferedIOPS: 5000})
+	if res.DiskUtil < 0.9 {
+		t.Fatalf("disk utilization %.2f at overload: arms should bind (§5)", res.DiskUtil)
+	}
+	if res.DirUtil > 0.95 {
+		t.Fatalf("directory server saturated (%.2f) before the disks", res.DirUtil)
+	}
+}
+
+// TestUntarScaleInsensitivity: the scaled-down untar simulation must give
+// (rescaled) results close to a larger-scale run — the justification for
+// simulating 5% of the tree in the figures.
+func TestUntarScaleInsensitivity(t *testing.T) {
+	cfg := UntarConfig{DirServers: 2, Processes: 8, Kind: route.MkdirSwitching, P: 0.5}
+	small := cfg
+	small.Scale = 0.03
+	large := cfg
+	large.Scale = 0.12
+	a := RunUntar(small).MeanLatency
+	b := RunUntar(large).MeanLatency
+	if diff := math.Abs(a-b) / b; diff > 0.10 {
+		t.Fatalf("scale sensitivity %.1f%%: %.1fs at 0.03 vs %.1fs at 0.12", diff*100, a, b)
+	}
+}
+
+// TestBulkWindowEffect: deepening the read-ahead window cannot reduce
+// throughput, and a window of 1 leaves the pipeline underutilized.
+func TestBulkWindowEffect(t *testing.T) {
+	w1 := RunBulk(BulkConfig{Clients: 1, Window: 1}).PerClientMBps
+	w4 := RunBulk(BulkConfig{Clients: 1, Window: 4}).PerClientMBps
+	if w4 < w1 {
+		t.Fatalf("deeper window lost bandwidth: %.1f vs %.1f", w4, w1)
+	}
+	if w1 > w4*0.95 {
+		t.Fatalf("window=1 should leave the pipeline idle: %.1f vs %.1f", w1, w4)
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/route"
+)
+
+// UntarConfig parameterizes the name-intensive untar experiment that
+// drives Figures 3 and 4: client processes unpack a FreeBSD-src-like tree
+// of empty files, generating seven NFS operations per create.
+type UntarConfig struct {
+	// DirServers is the number of Slice directory servers (ignored for
+	// the baseline).
+	DirServers int
+	// Baseline selects the single-server N-MFS configuration.
+	Baseline bool
+	// Processes is the number of concurrent untar client processes.
+	Processes int
+	// ClientNodes hosts the processes (round-robin); default 5 (§5).
+	ClientNodes int
+	// Kind and P select the name-space policy and the mkdir redirection
+	// probability (affinity is 1-P).
+	Kind route.NameKind
+	P    float64
+	// Scale shrinks the 36,000-entry tree for faster simulation; the
+	// reported latency is scaled back linearly (closed-loop steady
+	// state). Default 0.05.
+	Scale float64
+	// SingleDirectory creates every file in one shared directory instead
+	// of a tree: the "very large directory" workload that motivates name
+	// hashing over mkdir switching (§3.2).
+	SingleDirectory bool
+	// Seed makes tree shapes reproducible.
+	Seed uint64
+}
+
+func (c *UntarConfig) defaults() {
+	if c.DirServers <= 0 {
+		c.DirServers = 1
+	}
+	if c.Processes <= 0 {
+		c.Processes = 1
+	}
+	if c.ClientNodes <= 0 {
+		c.ClientNodes = ClientNodes
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// UntarResult reports the closed-loop outcome.
+type UntarResult struct {
+	// MeanLatency is the mean per-process completion time in seconds,
+	// scaled back to the full 36,000-entry tree.
+	MeanLatency float64
+	// OpsPerSec is the aggregate server throughput while running.
+	OpsPerSec float64
+	// CrossSiteOps counts operations that touched a second directory
+	// server (the redirected-mkdir cost of §3.3.2).
+	CrossSiteOps uint64
+	// ServerUtil is per-directory-server utilization; its spread shows
+	// the load imbalance that high affinity produces (Figure 4).
+	ServerUtil []float64
+	// RedirectedMkdirs counts mkdirs placed away from their parent.
+	RedirectedMkdirs uint64
+	// LogBytes estimates journal traffic across directory servers.
+	LogBytes uint64
+}
+
+// untarOp is one NFS operation of the generated stream.
+type untarOp struct {
+	site     uint32 // primary directory server
+	peerSite int32  // second site for two-site ops, -1 if none
+}
+
+// genUntarOps builds each process's operation stream, placing directories
+// with the SAME policy code the µproxy uses (route.NamePolicy), so the
+// figure measures the real mkdir-switching / name-hashing logic.
+func genUntarOps(cfg *UntarConfig, policy *route.NamePolicy, proc int, res *UntarResult) []untarOp {
+	r := newRng(cfg.Seed*1000 + uint64(proc) + 7)
+	entries := int(float64(UntarFilesPerProcess) * cfg.Scale)
+	if entries < 10 {
+		entries = 10
+	}
+	nDirs := int(float64(entries) * UntarDirFraction)
+	if nDirs < 1 {
+		nDirs = 1
+	}
+
+	type dir struct {
+		fh fhandle.Handle
+	}
+	// The volume root lives on site 0. Each process untars into its own
+	// top-level directory.
+	root := fhandle.Handle{Volume: 1, FileID: 1, Type: 2, Site: 0, Gen: 1}
+	var dirs []dir
+	var ops []untarOp
+	nextID := uint64(proc+1) << 32
+
+	mkdir := func(parent fhandle.Handle, name string) fhandle.Handle {
+		info := nfsproto.RequestInfo{Proc: nfsproto.ProcMkdir, FH: parent, Name: name, HasName: true}
+		site, orphan := policy.SiteFor(&info)
+		nextID++
+		child := fhandle.Handle{Volume: 1, FileID: nextID, Type: 2, Site: site, Gen: 1}
+		op := untarOp{site: site, peerSite: -1}
+		if orphan || (policy.Kind == route.NameHashing && site != parent.Site%uint32(max32(1, cfg.DirServers))) {
+			// Two-site operation: the parent's entry/link count updates
+			// happen on the parent's site.
+			op.peerSite = int32(parent.Site % uint32(cfg.DirServers))
+			res.CrossSiteOps++
+			if orphan {
+				res.RedirectedMkdirs++
+			}
+		}
+		ops = append(ops, op)
+		return child
+	}
+
+	create := func(parent fhandle.Handle, name string) {
+		info := nfsproto.RequestInfo{Proc: nfsproto.ProcCreate, FH: parent, Name: name, HasName: true}
+		site, _ := policy.SiteFor(&info)
+		// The seven-op sequence of a file create (§5): lookup, access,
+		// create, getattr, lookup, setattr, setattr. Under both policies
+		// these route to the site owning the entry/attribute cells.
+		for k := 0; k < UntarOpsPerCreate; k++ {
+			op := untarOp{site: site, peerSite: -1}
+			if k == 2 && policy.Kind == route.NameHashing &&
+				site != parent.Site%uint32(cfg.DirServers) {
+				// The create itself updates the remote parent's mtime.
+				op.peerSite = int32(parent.Site % uint32(cfg.DirServers))
+				res.CrossSiteOps++
+			}
+			ops = append(ops, op)
+		}
+	}
+
+	if cfg.SingleDirectory {
+		// All processes pour files into one shared directory under the
+		// root. Under mkdir switching, that directory is bound to a
+		// single site; under name hashing, its entries spread.
+		shared := fhandle.Handle{Volume: 1, FileID: 2, Type: 2, Site: 0, Gen: 1}
+		for f := 0; f < entries; f++ {
+			create(shared, fmt.Sprintf("p%d-f%d.c", proc, f))
+		}
+		return ops
+	}
+
+	top := mkdir(root, fmt.Sprintf("proc%d", proc))
+	dirs = append(dirs, dir{fh: top})
+	for len(dirs) < nDirs {
+		parent := dirs[r.Intn(len(dirs))]
+		child := mkdir(parent.fh, fmt.Sprintf("d%d", len(dirs)))
+		dirs = append(dirs, dir{fh: child})
+	}
+	for f := nDirs; f < entries; f++ {
+		parent := dirs[r.Intn(len(dirs))]
+		create(parent.fh, fmt.Sprintf("f%d.c", f))
+	}
+	return ops
+}
+
+func max32(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunUntar runs the closed-loop untar simulation.
+func RunUntar(cfg UntarConfig) UntarResult {
+	cfg.defaults()
+	eng := NewEngine()
+	res := UntarResult{}
+
+	nServers := cfg.DirServers
+	opTime := DirOpTime
+	if cfg.Baseline {
+		nServers = 1
+		opTime = MFSOpTime
+	}
+	servers := make([]*Station, nServers)
+	var addrs []netsim.Addr
+	for i := range servers {
+		servers[i] = NewStation(eng, "dir", 1)
+		addrs = append(addrs, netsim.Addr{Host: uint32(30 + i), Port: 2049})
+	}
+	clientCPUs := make([]*Station, cfg.ClientNodes)
+	for i := range clientCPUs {
+		clientCPUs[i] = NewStation(eng, "clientcpu", 1)
+	}
+	policy := route.NewNamePolicy(cfg.Kind, cfg.P, route.NewTable(nServers, addrs))
+
+	var totalOps uint64
+	var sumCompletion float64
+	remaining := cfg.Processes
+
+	for p := 0; p < cfg.Processes; p++ {
+		var ops []untarOp
+		if cfg.Baseline {
+			// Everything serializes on the single server.
+			entries := int(float64(UntarFilesPerProcess) * cfg.Scale)
+			ops = make([]untarOp, entries*UntarOpsPerCreate)
+			for i := range ops {
+				ops[i] = untarOp{site: 0, peerSite: -1}
+			}
+		} else {
+			ops = genUntarOps(&cfg, policy, p, &res)
+		}
+		totalOps += uint64(len(ops))
+		res.LogBytes += uint64(len(ops)) * DirLogBytesPerOp
+
+		cpu := clientCPUs[p%cfg.ClientNodes]
+		i := 0
+		var step func()
+		step = func() {
+			if i >= len(ops) {
+				sumCompletion += eng.Now()
+				remaining--
+				return
+			}
+			op := ops[i]
+			i++
+			stops := []Stop{
+				{cpu, ClientOpTime},
+				{servers[int(op.site)%nServers], opTime},
+			}
+			if op.peerSite >= 0 {
+				stops = append(stops, Stop{servers[int(op.peerSite)%nServers], DirPeerOpTime})
+			}
+			Chain(stops, step)
+		}
+		eng.At(0, step)
+	}
+
+	end := eng.Run(0)
+	res.MeanLatency = sumCompletion / float64(cfg.Processes) / cfg.Scale
+	if end > 0 {
+		res.OpsPerSec = float64(totalOps) / end
+	}
+	for _, s := range servers {
+		res.ServerUtil = append(res.ServerUtil, s.Utilization())
+	}
+	return res
+}

@@ -1,0 +1,134 @@
+package smallfile
+
+import (
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/storage"
+	"slice/internal/xdr"
+)
+
+// Server exports a small-file Store over RPC. It serves the NFS I/O subset
+// {NULL, READ, WRITE, COMMIT} — the µproxy directs all I/O below the
+// threshold offset here — plus the raw-object extension program for
+// remove/truncate/stat, sharing procedure numbers with the storage nodes
+// so the coordinator can treat both uniformly.
+type Server struct {
+	store *Store
+	srv   *oncrpc.Server
+}
+
+// NewServer starts a small-file server on port.
+func NewServer(port *netsim.Port, store *Store) *Server {
+	s := &Server{store: store}
+	s.srv = oncrpc.NewServer(port, oncrpc.HandlerFunc(s.serve))
+	return s
+}
+
+// Store returns the underlying store (for stats and failover tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Addr returns the server's address.
+func (s *Server) Addr() netsim.Addr { return s.srv.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() { s.srv.Close() }
+
+func (s *Server) serve(call oncrpc.Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+	switch call.Program {
+	case nfsproto.Program:
+		return s.serveNFS(call)
+	case storage.ObjProgram:
+		return s.serveObj(call)
+	default:
+		return nil, oncrpc.AcceptProgUnavail
+	}
+}
+
+func (s *Server) serveNFS(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
+	d := xdr.NewDecoder(call.Body)
+	switch nfsproto.Proc(call.Proc) {
+	case nfsproto.ProcNull:
+		return func(e *xdr.Encoder) {}, oncrpc.AcceptSuccess
+
+	case nfsproto.ProcRead:
+		var args nfsproto.ReadArgs
+		if err := args.Decode(d); err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		buf := make([]byte, args.Count)
+		n, eof, err := s.store.Read(args.FH, int64(args.Offset), buf)
+		res := &nfsproto.ReadRes{Status: nfsproto.OK, Count: uint32(n), EOF: eof, Data: buf[:n]}
+		if err != nil {
+			res = &nfsproto.ReadRes{Status: nfsproto.ErrIO}
+		}
+		return res.Encode, oncrpc.AcceptSuccess
+
+	case nfsproto.ProcWrite:
+		var args nfsproto.WriteArgs
+		if err := args.Decode(d); err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		cnt := args.Count
+		if int(cnt) > len(args.Data) {
+			cnt = uint32(len(args.Data))
+		}
+		stable := args.Stable != nfsproto.Unstable
+		res := &nfsproto.WriteRes{Status: nfsproto.OK, Count: cnt, Verf: s.store.backing.Verifier()}
+		if stable {
+			res.Committed = nfsproto.FileSync
+		}
+		if err := s.store.Write(args.FH, int64(args.Offset), args.Data[:cnt], stable); err != nil {
+			res = &nfsproto.WriteRes{Status: nfsproto.ErrFBig}
+		}
+		return res.Encode, oncrpc.AcceptSuccess
+
+	case nfsproto.ProcCommit:
+		var args nfsproto.CommitArgs
+		if err := args.Decode(d); err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		verf := s.store.Commit(args.FH)
+		res := &nfsproto.CommitRes{Status: nfsproto.OK, Verf: verf}
+		return res.Encode, oncrpc.AcceptSuccess
+
+	default:
+		return nil, oncrpc.AcceptProcUnavail
+	}
+}
+
+func (s *Server) serveObj(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
+	d := xdr.NewDecoder(call.Body)
+	fh, err := fhandle.Decode(d)
+	if err != nil {
+		return nil, oncrpc.AcceptGarbageArgs
+	}
+	switch call.Proc {
+	case storage.ObjProcRemove:
+		s.store.Remove(fh)
+		return func(e *xdr.Encoder) { e.PutUint32(uint32(nfsproto.OK)) }, oncrpc.AcceptSuccess
+
+	case storage.ObjProcTruncate:
+		size, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st := nfsproto.OK
+		if err := s.store.Truncate(fh, int64(size)); err != nil {
+			st = nfsproto.ErrInval
+		}
+		return func(e *xdr.Encoder) { e.PutUint32(uint32(st)) }, oncrpc.AcceptSuccess
+
+	case storage.ObjProcStat:
+		size, ok := s.store.Size(fh)
+		res := storage.ObjStatRes{Status: nfsproto.OK, Size: uint64(size), Used: uint64(s.store.Used(fh))}
+		if !ok {
+			res.Status = nfsproto.ErrNoEnt
+		}
+		return res.Encode, oncrpc.AcceptSuccess
+
+	default:
+		return nil, oncrpc.AcceptProcUnavail
+	}
+}

@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"sync"
+
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/xdr"
+)
+
+// ObjProgram is the RPC program number of the raw-object extension service
+// (remove/truncate/stat by handle), used by coordinators and file managers.
+const (
+	ObjProgram = 200101
+	ObjVersion = 1
+)
+
+// Raw-object procedures.
+const (
+	ObjProcRemove   = 1
+	ObjProcTruncate = 2
+	ObjProcStat     = 3
+)
+
+// ObjectOf maps a file handle to the backing object identifier, the
+// "external hash" of §4.2.
+func ObjectOf(fh fhandle.Handle) ObjectID {
+	return ObjectID(fhandle.HandleKey(fh))
+}
+
+// Node is a network storage node: an ObjectStore exported over RPC. It
+// serves the NFS subset {NULL, READ, WRITE, COMMIT} addressed by file
+// handle, plus the raw-object program.
+//
+// With a capability key configured, the node refuses requests whose
+// handle does not carry a valid keyed fingerprint — the OBSD/NASD secure
+// object model of §2.2, which lets the µproxy live outside the service
+// trust boundary: clients cannot address storage directly, because only
+// key holders (the µproxy, the coordinator) can mint capabilities.
+type Node struct {
+	store  *ObjectStore
+	srv    *oncrpc.Server
+	mu     sync.Mutex
+	capKey []byte
+	denied uint64
+}
+
+// NewNode starts a storage node on port, serving store.
+func NewNode(port *netsim.Port, store *ObjectStore) *Node {
+	n := &Node{store: store}
+	n.srv = oncrpc.NewServer(port, oncrpc.HandlerFunc(n.serve))
+	return n
+}
+
+// RequireCapability makes the node verify handle capabilities against
+// key. A nil key disables verification (trusted-network mode).
+func (n *Node) RequireCapability(key []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.capKey = append([]byte(nil), key...)
+}
+
+// DeniedRequests counts requests rejected for missing/bad capabilities.
+func (n *Node) DeniedRequests() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.denied
+}
+
+// authorize verifies fh's capability under the configured key.
+func (n *Node) authorize(fh fhandle.Handle) bool {
+	n.mu.Lock()
+	key := n.capKey
+	n.mu.Unlock()
+	if len(key) == 0 {
+		return true
+	}
+	if fhandle.VerifyCapability(key, fh) {
+		return true
+	}
+	n.mu.Lock()
+	n.denied++
+	n.mu.Unlock()
+	return false
+}
+
+// Store returns the node's object store (used by tests and by managers
+// whose backing objects live on this node).
+func (n *Node) Store() *ObjectStore { return n.store }
+
+// Addr returns the node's network address.
+func (n *Node) Addr() netsim.Addr { return n.srv.Addr() }
+
+// Close shuts the node down.
+func (n *Node) Close() { n.srv.Close() }
+
+func (n *Node) serve(call oncrpc.Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+	switch call.Program {
+	case nfsproto.Program:
+		return n.serveNFS(call)
+	case ObjProgram:
+		return n.serveObj(call)
+	default:
+		return nil, oncrpc.AcceptProgUnavail
+	}
+}
+
+func (n *Node) serveNFS(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
+	d := xdr.NewDecoder(call.Body)
+	switch nfsproto.Proc(call.Proc) {
+	case nfsproto.ProcNull:
+		return func(e *xdr.Encoder) {}, oncrpc.AcceptSuccess
+
+	case nfsproto.ProcRead:
+		var args nfsproto.ReadArgs
+		if err := args.Decode(d); err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		if !n.authorize(args.FH) {
+			return (&nfsproto.ReadRes{Status: nfsproto.ErrAccess}).Encode, oncrpc.AcceptSuccess
+		}
+		res := n.read(&args)
+		return res.Encode, oncrpc.AcceptSuccess
+
+	case nfsproto.ProcWrite:
+		var args nfsproto.WriteArgs
+		if err := args.Decode(d); err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		if !n.authorize(args.FH) {
+			return (&nfsproto.WriteRes{Status: nfsproto.ErrAccess}).Encode, oncrpc.AcceptSuccess
+		}
+		res := n.write(&args)
+		return res.Encode, oncrpc.AcceptSuccess
+
+	case nfsproto.ProcCommit:
+		var args nfsproto.CommitArgs
+		if err := args.Decode(d); err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		if !n.authorize(args.FH) {
+			return (&nfsproto.CommitRes{Status: nfsproto.ErrAccess}).Encode, oncrpc.AcceptSuccess
+		}
+		res := n.commit(&args)
+		return res.Encode, oncrpc.AcceptSuccess
+
+	default:
+		// Storage nodes serve only the bulk I/O subset; anything else
+		// was misrouted.
+		return nil, oncrpc.AcceptProcUnavail
+	}
+}
+
+// read serves READ. The reply carries no attributes: in the Slice
+// architecture the µproxy patches cached attributes into I/O responses
+// (§4.1), because storage nodes do not hold file attributes.
+func (n *Node) read(args *nfsproto.ReadArgs) *nfsproto.ReadRes {
+	buf := make([]byte, args.Count)
+	cnt, eof, err := n.store.ReadAt(ObjectOf(args.FH), int64(args.Offset), buf)
+	if err != nil {
+		// Reading an object that has never been written is a read of a
+		// hole in a sparse file: return zeroes only if the file exists
+		// somewhere else. The storage node cannot know the file size, so
+		// it reports EOF at its local object; the client's view of size
+		// comes from the attributes the µproxy maintains.
+		return &nfsproto.ReadRes{Status: nfsproto.OK, Count: 0, EOF: true, Data: nil}
+	}
+	return &nfsproto.ReadRes{
+		Status: nfsproto.OK,
+		Count:  uint32(cnt),
+		EOF:    eof,
+		Data:   buf[:cnt],
+	}
+}
+
+func (n *Node) write(args *nfsproto.WriteArgs) *nfsproto.WriteRes {
+	cnt := args.Count
+	if int(cnt) > len(args.Data) {
+		cnt = uint32(len(args.Data))
+	}
+	stable := args.Stable != nfsproto.Unstable
+	if err := n.store.WriteAt(ObjectOf(args.FH), int64(args.Offset), args.Data[:cnt], stable); err != nil {
+		return &nfsproto.WriteRes{Status: nfsproto.ErrIO}
+	}
+	committed := uint32(nfsproto.Unstable)
+	if stable {
+		committed = nfsproto.FileSync
+	}
+	return &nfsproto.WriteRes{
+		Status:    nfsproto.OK,
+		Count:     cnt,
+		Committed: committed,
+		Verf:      n.store.Verifier(),
+	}
+}
+
+func (n *Node) commit(args *nfsproto.CommitArgs) *nfsproto.CommitRes {
+	verf := n.store.Commit(ObjectOf(args.FH))
+	return &nfsproto.CommitRes{Status: nfsproto.OK, Verf: verf}
+}
+
+// --------------------------------------------------- raw-object program
+
+// ObjStatRes is the result of ObjProcStat.
+type ObjStatRes struct {
+	Status nfsproto.Status
+	Size   uint64
+	Used   uint64
+}
+
+// Encode appends the result to e.
+func (r *ObjStatRes) Encode(e *xdr.Encoder) {
+	e.PutUint32(uint32(r.Status))
+	if r.Status == nfsproto.OK {
+		e.PutUint64(r.Size)
+		e.PutUint64(r.Used)
+	}
+}
+
+// Decode reads the result from d.
+func (r *ObjStatRes) Decode(d *xdr.Decoder) error {
+	s, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Status = nfsproto.Status(s)
+	if r.Status != nfsproto.OK {
+		return nil
+	}
+	if r.Size, err = d.Uint64(); err != nil {
+		return err
+	}
+	r.Used, err = d.Uint64()
+	return err
+}
+
+func (n *Node) serveObj(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
+	d := xdr.NewDecoder(call.Body)
+	fh, err := fhandle.Decode(d)
+	if err != nil {
+		return nil, oncrpc.AcceptGarbageArgs
+	}
+	if !n.authorize(fh) {
+		return func(e *xdr.Encoder) { e.PutUint32(uint32(nfsproto.ErrAccess)) }, oncrpc.AcceptSuccess
+	}
+	id := ObjectOf(fh)
+	switch call.Proc {
+	case ObjProcRemove:
+		n.store.Remove(id)
+		return func(e *xdr.Encoder) { e.PutUint32(uint32(nfsproto.OK)) }, oncrpc.AcceptSuccess
+
+	case ObjProcTruncate:
+		size, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		st := nfsproto.OK
+		if err := n.store.Truncate(id, int64(size)); err != nil {
+			st = nfsproto.ErrInval
+		}
+		return func(e *xdr.Encoder) { e.PutUint32(uint32(st)) }, oncrpc.AcceptSuccess
+
+	case ObjProcStat:
+		size, ok := n.store.Size(id)
+		res := ObjStatRes{Status: nfsproto.OK, Size: uint64(size), Used: uint64(n.store.Used(id))}
+		if !ok {
+			res.Status = nfsproto.ErrNoEnt
+		}
+		return res.Encode, oncrpc.AcceptSuccess
+
+	default:
+		return nil, oncrpc.AcceptProcUnavail
+	}
+}

@@ -1,0 +1,333 @@
+// Package storage implements the Slice network storage nodes: object-based
+// block storage in the style of the NSIC OBSD proposal and CMU NASD (§2.2).
+//
+// A storage node serves a flat space of storage objects named by unique
+// identifiers; requesters address data as (object, logical offset). Nodes
+// accept NFS file handles as object identifiers, mapping them to objects
+// with an external hash, and serve the NFS subset {read, write, commit}
+// plus an extension program for remove/truncate/stat of raw objects.
+//
+// Writes are unstable until committed, mirroring NFS V3 write semantics:
+// a crash discards uncommitted blocks and changes the node's write
+// verifier, which clients detect and use to re-send uncommitted data.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BlockSize is the logical block size of storage objects.
+const BlockSize = 8192
+
+// ObjectID names a storage object within a node.
+type ObjectID uint64
+
+// ErrNoObject is returned for operations on objects that do not exist.
+var ErrNoObject = errors.New("storage: no such object")
+
+// block is one logical block of an object. data is allocated on first
+// write and always BlockSize long; durable marks committed content.
+type block struct {
+	data    []byte
+	durable bool
+}
+
+// object is an ordered byte sequence held as a sparse block map.
+type object struct {
+	blocks map[int64]*block
+	size   int64 // logical size in bytes
+}
+
+// Stats counts storage node activity.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	Commits        uint64
+	Removes        uint64
+	BytesRead      uint64
+	BytesWritten   uint64
+	PrefetchStarts uint64 // sequential streams detected
+	Crashes        uint64
+}
+
+// ObjectStore is the storage manager inside one node (the role FFS played
+// in the prototype). It is safe for concurrent use.
+type ObjectStore struct {
+	mu       sync.Mutex
+	objects  map[ObjectID]*object
+	verifier uint64
+	stats    Stats
+
+	// seqTail tracks the end offset of the last read per object, to
+	// detect sequential streams for prefetching (§4.2: storage nodes
+	// prefetch sequential files up to 256KB beyond the current access).
+	seqTail map[ObjectID]int64
+}
+
+// NewObjectStore returns an empty store with a fresh write verifier.
+func NewObjectStore() *ObjectStore {
+	return &ObjectStore{
+		objects:  make(map[ObjectID]*object),
+		verifier: 1,
+		seqTail:  make(map[ObjectID]int64),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *ObjectStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Verifier returns the node's current write verifier. It changes whenever
+// uncommitted data may have been lost.
+func (s *ObjectStore) Verifier() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verifier
+}
+
+// NumObjects returns the number of objects in the store.
+func (s *ObjectStore) NumObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+func (s *ObjectStore) get(id ObjectID, create bool) *object {
+	o := s.objects[id]
+	if o == nil && create {
+		o = &object{blocks: make(map[int64]*block)}
+		s.objects[id] = o
+	}
+	return o
+}
+
+// WriteAt writes p at byte offset off of object id, creating the object if
+// needed. If stable is true the data is durable immediately (FILE_SYNC);
+// otherwise it remains volatile until Commit.
+func (s *ObjectStore) WriteAt(id ObjectID, off int64, p []byte, stable bool) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.get(id, true)
+	s.stats.Writes++
+	s.stats.BytesWritten += uint64(len(p))
+	end := off + int64(len(p))
+	for len(p) > 0 {
+		bn := off / BlockSize
+		bo := off % BlockSize
+		b := o.blocks[bn]
+		if b == nil {
+			b = &block{data: make([]byte, BlockSize)}
+			o.blocks[bn] = b
+		}
+		n := copy(b.data[bo:], p)
+		if stable {
+			b.durable = true
+		} else {
+			b.durable = false
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	if end > o.size {
+		o.size = end
+	}
+	return nil
+}
+
+// ReadAt reads up to len(p) bytes from object id at byte offset off. It
+// returns the byte count and whether the read reached end of object. Holes
+// read as zeros. Reading a nonexistent object returns ErrNoObject.
+func (s *ObjectStore) ReadAt(id ObjectID, off int64, p []byte) (int, bool, error) {
+	if off < 0 {
+		return 0, false, fmt.Errorf("storage: negative offset %d", off)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.get(id, false)
+	if o == nil {
+		return 0, false, fmt.Errorf("%w: %d", ErrNoObject, uint64(id))
+	}
+	s.stats.Reads++
+	if off >= o.size {
+		return 0, true, nil
+	}
+	n := len(p)
+	if int64(n) > o.size-off {
+		n = int(o.size - off)
+	}
+	// Detect sequential access for prefetch accounting.
+	if tail, ok := s.seqTail[id]; ok && tail == off {
+		s.stats.PrefetchStarts++
+	}
+	s.seqTail[id] = off + int64(n)
+
+	read := 0
+	for read < n {
+		bn := (off + int64(read)) / BlockSize
+		bo := (off + int64(read)) % BlockSize
+		want := n - read
+		if int64(want) > BlockSize-bo {
+			want = int(BlockSize - bo)
+		}
+		if b := o.blocks[bn]; b != nil {
+			copy(p[read:read+want], b.data[bo:])
+		} else {
+			for i := read; i < read+want; i++ {
+				p[i] = 0
+			}
+		}
+		read += want
+	}
+	s.stats.BytesRead += uint64(n)
+	return n, off+int64(n) >= o.size, nil
+}
+
+// Commit makes all buffered writes to object id durable (write clustering:
+// one pass marks every dirty block) and returns the write verifier.
+// Committing a nonexistent object succeeds: NFS commit of a file with no
+// uncommitted data is a no-op.
+func (s *ObjectStore) Commit(id ObjectID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Commits++
+	if o := s.get(id, false); o != nil {
+		for _, b := range o.blocks {
+			b.durable = true
+		}
+	}
+	return s.verifier
+}
+
+// CommitAll makes every object durable, as a periodic syncer would.
+func (s *ObjectStore) CommitAll() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Commits++
+	for _, o := range s.objects {
+		for _, b := range o.blocks {
+			b.durable = true
+		}
+	}
+	return s.verifier
+}
+
+// Remove deletes object id. Removing a missing object is a no-op, so that
+// retransmitted removes are idempotent.
+func (s *ObjectStore) Remove(id ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Removes++
+	delete(s.objects, id)
+	delete(s.seqTail, id)
+}
+
+// Truncate sets the logical size of object id, discarding blocks beyond
+// the new end. Truncating a nonexistent object creates it.
+func (s *ObjectStore) Truncate(id ObjectID, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("storage: negative size %d", size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.get(id, true)
+	if size < o.size {
+		lastBlock := (size + BlockSize - 1) / BlockSize
+		for bn := range o.blocks {
+			if bn >= lastBlock {
+				delete(o.blocks, bn)
+			}
+		}
+		// Zero the tail of the new last block.
+		if size%BlockSize != 0 {
+			if b := o.blocks[size/BlockSize]; b != nil {
+				for i := size % BlockSize; i < BlockSize; i++ {
+					b.data[i] = 0
+				}
+			}
+		}
+	}
+	o.size = size
+	return nil
+}
+
+// Size returns the logical size of object id and whether it exists.
+func (s *ObjectStore) Size(id ObjectID) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.get(id, false)
+	if o == nil {
+		return 0, false
+	}
+	return o.size, true
+}
+
+// Used returns the bytes of physical storage allocated to object id.
+func (s *ObjectStore) Used(id ObjectID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.get(id, false)
+	if o == nil {
+		return 0
+	}
+	return int64(len(o.blocks)) * BlockSize
+}
+
+// Crash simulates a node failure and restart: uncommitted blocks are lost
+// (truncated objects keep their committed size semantics: size reverts to
+// cover only durable blocks when the tail was never committed), and the
+// write verifier changes so clients re-send uncommitted writes.
+func (s *ObjectStore) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Crashes++
+	s.verifier++
+	for _, o := range s.objects {
+		var maxDurableEnd int64
+		for bn, b := range o.blocks {
+			if !b.durable {
+				delete(o.blocks, bn)
+				continue
+			}
+			if end := (bn + 1) * BlockSize; end > maxDurableEnd {
+				maxDurableEnd = end
+			}
+		}
+		if o.size > maxDurableEnd {
+			o.size = maxDurableEnd
+		}
+	}
+	s.seqTail = make(map[ObjectID]int64)
+}
+
+// TotalBytes sums the logical sizes of all objects. Striped files appear
+// at near-full size on every node holding any of their stripes (offsets
+// are file-global and objects are sparse); use PhysicalBytes for actual
+// storage consumption.
+func (s *ObjectStore) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, o := range s.objects {
+		t += o.size
+	}
+	return t
+}
+
+// PhysicalBytes sums the allocated block storage across all objects.
+func (s *ObjectStore) PhysicalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, o := range s.objects {
+		t += int64(len(o.blocks)) * BlockSize
+	}
+	return t
+}

@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/xdr"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewObjectStore()
+	data := []byte("hello object storage")
+	if err := s.WriteAt(1, 0, data, true); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	n, eof, err := s.ReadAt(1, 0, buf)
+	if err != nil || n != len(data) || !eof {
+		t.Fatalf("read: n=%d eof=%v err=%v", n, eof, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestSparseHolesReadZero(t *testing.T) {
+	s := NewObjectStore()
+	// Write one block far into the object.
+	if err := s.WriteAt(1, 5*BlockSize, []byte("tail"), true); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, _, err := s.ReadAt(1, BlockSize, buf)
+	if err != nil || n != 64 {
+		t.Fatalf("hole read: n=%d err=%v", n, err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %d, want 0", i, b)
+		}
+	}
+	if size, ok := s.Size(1); !ok || size != 5*BlockSize+4 {
+		t.Fatalf("size = %d, want %d", size, 5*BlockSize+4)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	s := NewObjectStore()
+	_ = s.WriteAt(1, 0, []byte("xy"), true)
+	buf := make([]byte, 8)
+	n, eof, err := s.ReadAt(1, 100, buf)
+	if err != nil || n != 0 || !eof {
+		t.Fatalf("past-EOF read: n=%d eof=%v err=%v", n, eof, err)
+	}
+}
+
+func TestReadMissingObject(t *testing.T) {
+	s := NewObjectStore()
+	if _, _, err := s.ReadAt(42, 0, make([]byte, 4)); err == nil {
+		t.Fatal("read of missing object succeeded")
+	}
+}
+
+func TestCrashDropsUncommitted(t *testing.T) {
+	s := NewObjectStore()
+	_ = s.WriteAt(1, 0, bytes.Repeat([]byte("d"), BlockSize), false)
+	s.Commit(1)
+	_ = s.WriteAt(1, BlockSize, bytes.Repeat([]byte("v"), BlockSize), false)
+	v1 := s.Verifier()
+	s.Crash()
+	if s.Verifier() == v1 {
+		t.Fatal("verifier unchanged across crash")
+	}
+	size, ok := s.Size(1)
+	if !ok || size != BlockSize {
+		t.Fatalf("size after crash = %d, want %d (committed prefix only)", size, BlockSize)
+	}
+	buf := make([]byte, BlockSize)
+	n, _, err := s.ReadAt(1, 0, buf)
+	if err != nil || n != BlockSize || buf[0] != 'd' {
+		t.Fatalf("committed data lost: n=%d err=%v", n, err)
+	}
+}
+
+func TestStableWriteSurvivesCrash(t *testing.T) {
+	s := NewObjectStore()
+	_ = s.WriteAt(1, 0, []byte("stable!!"), true)
+	s.Crash()
+	buf := make([]byte, 8)
+	n, _, err := s.ReadAt(1, 0, buf)
+	if err != nil || n == 0 {
+		t.Fatalf("stable write lost in crash: n=%d err=%v", n, err)
+	}
+}
+
+func TestTruncateShrinkAndZero(t *testing.T) {
+	s := NewObjectStore()
+	_ = s.WriteAt(1, 0, bytes.Repeat([]byte{0xFF}, 2*BlockSize), true)
+	if err := s.Truncate(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := s.Size(1); size != 100 {
+		t.Fatalf("size = %d", size)
+	}
+	// Growing back must expose zeros, not stale bytes.
+	_ = s.Truncate(1, 200)
+	buf := make([]byte, 100)
+	_, _, _ = s.ReadAt(1, 100, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("stale byte %d = %x after shrink+grow", i, b)
+		}
+	}
+}
+
+func TestRemoveIdempotent(t *testing.T) {
+	s := NewObjectStore()
+	_ = s.WriteAt(1, 0, []byte("x"), true)
+	s.Remove(1)
+	s.Remove(1) // must not panic or error
+	if _, ok := s.Size(1); ok {
+		t.Fatal("object still present after remove")
+	}
+}
+
+// TestWriteReadProperty: arbitrary writes at arbitrary offsets read back.
+func TestWriteReadProperty(t *testing.T) {
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		s := NewObjectStore()
+		if err := s.WriteAt(7, int64(off), data, true); err != nil {
+			return false
+		}
+		buf := make([]byte, len(data))
+		n, _, err := s.ReadAt(7, int64(off), buf)
+		return err == nil && n == len(data) && bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlappingWrites(t *testing.T) {
+	s := NewObjectStore()
+	_ = s.WriteAt(1, 0, bytes.Repeat([]byte("a"), 100), true)
+	_ = s.WriteAt(1, 50, bytes.Repeat([]byte("b"), 100), true)
+	buf := make([]byte, 150)
+	n, _, _ := s.ReadAt(1, 0, buf)
+	if n != 150 {
+		t.Fatalf("n = %d", n)
+	}
+	if buf[49] != 'a' || buf[50] != 'b' || buf[149] != 'b' {
+		t.Fatalf("overlap wrong: %c %c %c", buf[49], buf[50], buf[149])
+	}
+}
+
+func TestPrefetchDetection(t *testing.T) {
+	s := NewObjectStore()
+	_ = s.WriteAt(1, 0, make([]byte, 4*BlockSize), true)
+	buf := make([]byte, BlockSize)
+	for off := int64(0); off < 4*BlockSize; off += BlockSize {
+		_, _, _ = s.ReadAt(1, off, buf)
+	}
+	if st := s.Stats(); st.PrefetchStarts < 3 {
+		t.Fatalf("sequential stream not detected: %d prefetch starts", st.PrefetchStarts)
+	}
+}
+
+// ---------------------------------------------------------- RPC node
+
+func newNode(t *testing.T) (*Node, *oncrpc.Client) {
+	t.Helper()
+	n := netsim.New(netsim.Config{})
+	sp, err := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(sp, NewObjectStore())
+	cp, _ := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	cli := oncrpc.NewClient(cp, node.Addr(), oncrpc.ClientConfig{Timeout: 100 * time.Millisecond})
+	t.Cleanup(func() { cli.Close(); node.Close() })
+	return node, cli
+}
+
+func testFH(id uint64) fhandle.Handle {
+	return fhandle.Handle{Volume: 1, FileID: id, Type: 1, Gen: 1}
+}
+
+func TestNodeWriteReadCommitRPC(t *testing.T) {
+	_, cli := newNode(t)
+	fh := testFH(5)
+
+	wargs := nfsproto.WriteArgs{FH: fh, Offset: 0, Count: 5, Stable: nfsproto.Unstable, Data: []byte("12345")}
+	body, err := cli.Call(nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcWrite), wargs.Encode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wres nfsproto.WriteRes
+	if err := wres.Decode(xdr.NewDecoder(body)); err != nil {
+		t.Fatal(err)
+	}
+	if wres.Status != nfsproto.OK || wres.Count != 5 || wres.Committed != nfsproto.Unstable {
+		t.Fatalf("write res %+v", wres)
+	}
+	if wres.Attr.Present {
+		t.Fatal("storage node must not fabricate attributes; the µproxy patches them")
+	}
+
+	cargs := nfsproto.CommitArgs{FH: fh}
+	body, err = cli.Call(nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcCommit), cargs.Encode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cres nfsproto.CommitRes
+	_ = cres.Decode(xdr.NewDecoder(body))
+	if cres.Status != nfsproto.OK || cres.Verf == 0 {
+		t.Fatalf("commit res %+v", cres)
+	}
+
+	rargs := nfsproto.ReadArgs{FH: fh, Offset: 0, Count: 5}
+	body, err = cli.Call(nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcRead), rargs.Encode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rres nfsproto.ReadRes
+	_ = rres.Decode(xdr.NewDecoder(body))
+	if rres.Status != nfsproto.OK || string(rres.Data) != "12345" {
+		t.Fatalf("read res %+v", rres)
+	}
+}
+
+func TestNodeObjProgramRPC(t *testing.T) {
+	node, cli := newNode(t)
+	fh := testFH(9)
+	if err := node.Store().WriteAt(ObjectOf(fh), 0, []byte("to be removed"), true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stat sees it.
+	body, err := cli.Call(ObjProgram, ObjVersion, ObjProcStat, func(e *xdr.Encoder) { fh.Encode(e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ObjStatRes
+	if err := st.Decode(xdr.NewDecoder(body)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != nfsproto.OK || st.Size != 13 {
+		t.Fatalf("stat %+v", st)
+	}
+
+	// Truncate.
+	_, err = cli.Call(ObjProgram, ObjVersion, ObjProcTruncate, func(e *xdr.Encoder) {
+		fh.Encode(e)
+		e.PutUint64(4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := node.Store().Size(ObjectOf(fh)); size != 4 {
+		t.Fatalf("size after RPC truncate = %d", size)
+	}
+
+	// Remove.
+	_, err = cli.Call(ObjProgram, ObjVersion, ObjProcRemove, func(e *xdr.Encoder) { fh.Encode(e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := node.Store().Size(ObjectOf(fh)); ok {
+		t.Fatal("object survived RPC remove")
+	}
+
+	// Stat now reports ENOENT.
+	body, _ = cli.Call(ObjProgram, ObjVersion, ObjProcStat, func(e *xdr.Encoder) { fh.Encode(e) })
+	_ = st.Decode(xdr.NewDecoder(body))
+	if st.Status != nfsproto.ErrNoEnt {
+		t.Fatalf("stat of removed object: %v", st.Status)
+	}
+}
+
+func TestObjectOfIgnoresHints(t *testing.T) {
+	a := testFH(3)
+	b := a
+	b.MirrorDegree = 2
+	b.Flags = fhandle.FlagMirrored
+	if ObjectOf(a) != ObjectOf(b) {
+		t.Fatal("placement hints changed the backing object identity")
+	}
+}

@@ -1,0 +1,190 @@
+// Package udpgate bridges the in-memory Slice fabric to real UDP sockets,
+// so a client in another process (or on another machine) can mount the
+// virtual NFS server exported by a running ensemble.
+//
+// Server side, a Gateway listens on a UDP socket; each remote peer is
+// assigned a synthetic client address on the netsim fabric, and its
+// datagrams are injected toward the virtual server — which means they
+// traverse the interposed µproxy exactly like local traffic. Client side,
+// Dial returns an oncrpc.Conn over UDP, usable with client.NewWithConn.
+package udpgate
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slice/internal/netsim"
+)
+
+// Gateway relays between a UDP socket and a netsim fabric.
+type Gateway struct {
+	conn    *net.UDPConn
+	fabric  *netsim.Network
+	virtual netsim.Addr
+
+	mu       sync.Mutex
+	peers    map[string]*peer
+	nextHost uint32
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type peer struct {
+	remote *net.UDPAddr
+	port   *netsim.Port
+}
+
+// NewGateway starts a gateway on the given UDP listen address, forwarding
+// to the fabric's virtual server address.
+func NewGateway(listen string, fabric *netsim.Network, virtual netsim.Addr) (*Gateway, error) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		conn:     conn,
+		fabric:   fabric,
+		virtual:  virtual,
+		peers:    make(map[string]*peer),
+		nextHost: 0x7F000000, // synthetic client hosts
+	}
+	g.wg.Add(1)
+	go g.pumpIn()
+	return g, nil
+}
+
+// Addr returns the UDP address the gateway listens on.
+func (g *Gateway) Addr() net.Addr { return g.conn.LocalAddr() }
+
+// Close stops the gateway.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	for _, p := range g.peers {
+		p.port.Close()
+	}
+	g.mu.Unlock()
+	g.conn.Close()
+	g.wg.Wait()
+}
+
+// pumpIn reads UDP datagrams (raw RPC payloads) and injects them into the
+// fabric addressed to the virtual server.
+func (g *Gateway) pumpIn() {
+	defer g.wg.Done()
+	buf := make([]byte, netsim.MaxDatagram)
+	for {
+		n, remote, err := g.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		p, err := g.peerFor(remote)
+		if err != nil {
+			continue
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		_ = p.port.SendTo(g.virtual, payload)
+	}
+}
+
+// peerFor returns (allocating on first contact) the fabric endpoint for a
+// remote UDP address.
+func (g *Gateway) peerFor(remote *net.UDPAddr) (*peer, error) {
+	key := remote.String()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("udpgate: gateway closed")
+	}
+	if p, ok := g.peers[key]; ok {
+		return p, nil
+	}
+	g.nextHost++
+	port, err := g.fabric.BindAny(g.nextHost)
+	if err != nil {
+		return nil, err
+	}
+	p := &peer{remote: remote, port: port}
+	g.peers[key] = p
+	g.wg.Add(1)
+	go g.pumpOut(p)
+	return p, nil
+}
+
+// pumpOut forwards replies from the fabric back to the remote peer.
+func (g *Gateway) pumpOut(p *peer) {
+	defer g.wg.Done()
+	for {
+		d, err := p.port.Recv(0)
+		if err != nil {
+			return
+		}
+		if _, err := g.conn.WriteToUDP(netsim.Payload(d), p.remote); err != nil {
+			return
+		}
+	}
+}
+
+// Conn is a client-side oncrpc.Conn over UDP.
+type Conn struct {
+	conn *net.UDPConn
+}
+
+// Dial connects to a gateway's UDP address.
+func Dial(server string) (*Conn, error) {
+	addr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{conn: c}, nil
+}
+
+// SendTo implements oncrpc.Conn. The destination fabric address is
+// implied by the dialed gateway (it always targets the virtual server),
+// so dst is ignored.
+func (c *Conn) SendTo(dst netsim.Addr, payload []byte) error {
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// Recv implements oncrpc.Conn.
+func (c *Conn) Recv(timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := c.conn.SetReadDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, netsim.MaxDatagram)
+	n, err := c.conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, netsim.HeaderSize+n)
+	copy(out[netsim.HeaderSize:], buf[:n])
+	return out, nil
+}
+
+// Addr implements oncrpc.Conn with a placeholder fabric address.
+func (c *Conn) Addr() netsim.Addr { return netsim.Addr{Host: 0x7F000001, Port: 1} }
+
+// Close implements oncrpc.Conn.
+func (c *Conn) Close() { _ = c.conn.Close() }

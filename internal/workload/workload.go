@@ -1,0 +1,149 @@
+// Package workload implements the paper's workload generators for the
+// *live* Slice stack (protocol servers over the in-memory network):
+//
+//   - Untar: the name-intensive benchmark of §5 — unpacking a tree of
+//     zero-length files shaped like the FreeBSD source distribution, each
+//     create generating seven NFS operations.
+//   - Sfs: a SPECsfs97-like mix generator (op mix and small-file skew of
+//     the SFS file set) used to exercise the full ensemble and to measure
+//     the µproxy's per-stage costs under realistic traffic.
+//   - DD: sequential bulk I/O on large files (Table 2's access pattern).
+//
+// The simulator in internal/sim reproduces the paper's *performance*
+// figures; these generators validate the *functional* behaviour of the
+// real implementation under the same workload shapes, and drive the
+// Table 3 measurement.
+package workload
+
+import (
+	"fmt"
+
+	"slice/internal/client"
+	"slice/internal/fhandle"
+	"slice/internal/nfsproto"
+)
+
+// UntarConfig shapes the untar benchmark.
+type UntarConfig struct {
+	// Entries is the number of files+directories to create (the paper
+	// used 36,000 per process; tests use less).
+	Entries int
+	// DirFraction is the share of entries that are directories.
+	DirFraction float64
+	// Branching bounds children per directory before a sibling is used.
+	Branching int
+	// Prefix distinguishes concurrent processes' subtrees.
+	Prefix string
+	// Seed varies tree shape.
+	Seed uint64
+}
+
+func (c *UntarConfig) defaults() {
+	if c.Entries <= 0 {
+		c.Entries = 1000
+	}
+	if c.DirFraction <= 0 {
+		c.DirFraction = 0.08
+	}
+	if c.Branching <= 0 {
+		c.Branching = 16
+	}
+	if c.Prefix == "" {
+		c.Prefix = "untar"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// UntarStats reports what the run did.
+type UntarStats struct {
+	Dirs    int
+	Files   int
+	NFSOps  int // operations issued, counting the 7-op create sequence
+	Renames int
+}
+
+// xorshift for deterministic tree shapes without math/rand plumbing.
+type prng struct{ s uint64 }
+
+func (p *prng) next() uint64 {
+	p.s ^= p.s >> 12
+	p.s ^= p.s << 25
+	p.s ^= p.s >> 27
+	return p.s * 0x2545F4914F6CDD1D
+}
+func (p *prng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(p.next() % uint64(n))
+}
+
+// Untar unpacks a synthetic source tree under root using c, issuing the
+// same seven-operation sequence per file create that the paper's untar
+// generates: lookup, access, create, getattr, lookup, setattr, setattr.
+func Untar(c *client.Client, root fhandle.Handle, cfg UntarConfig) (UntarStats, error) {
+	cfg.defaults()
+	rng := prng{s: cfg.Seed*2654435761 + 11}
+	var st UntarStats
+
+	top, _, err := c.Mkdir(root, cfg.Prefix, 0o755)
+	if err != nil {
+		return st, fmt.Errorf("untar: top mkdir: %w", err)
+	}
+	st.Dirs++
+	st.NFSOps++
+
+	dirs := []fhandle.Handle{top}
+	nDirs := int(float64(cfg.Entries) * cfg.DirFraction)
+	if nDirs < 1 {
+		nDirs = 1
+	}
+
+	for len(dirs) < nDirs {
+		parent := dirs[rng.intn(len(dirs))]
+		name := fmt.Sprintf("d%05d", len(dirs))
+		fh, _, err := c.Mkdir(parent, name, 0o755)
+		if err != nil {
+			return st, fmt.Errorf("untar: mkdir %s: %w", name, err)
+		}
+		dirs = append(dirs, fh)
+		st.Dirs++
+		st.NFSOps++
+	}
+
+	for f := nDirs; f < cfg.Entries; f++ {
+		parent := dirs[rng.intn(len(dirs))]
+		name := fmt.Sprintf("f%05d.c", f)
+		// The paper's seven-op create sequence, issued literally.
+		if _, _, err := c.Lookup(parent, name); nfsproto.StatusOf(err) != nfsproto.ErrNoEnt {
+			if err == nil {
+				continue // already exists from a previous pass
+			}
+			return st, fmt.Errorf("untar: pre-lookup %s: %w", name, err)
+		}
+		if _, err := c.Access(parent, nfsproto.AccessModify); err != nil {
+			return st, fmt.Errorf("untar: access: %w", err)
+		}
+		fh, _, err := c.Create(parent, name, 0o644, true)
+		if err != nil {
+			return st, fmt.Errorf("untar: create %s: %w", name, err)
+		}
+		if _, err := c.GetAttr(fh); err != nil {
+			return st, fmt.Errorf("untar: getattr: %w", err)
+		}
+		if _, _, err := c.Lookup(parent, name); err != nil {
+			return st, fmt.Errorf("untar: post-lookup: %w", err)
+		}
+		if _, err := c.SetAttr(fh, setMode(0o644)); err != nil {
+			return st, fmt.Errorf("untar: setattr1: %w", err)
+		}
+		if _, err := c.SetAttr(fh, setMode(0o444)); err != nil {
+			return st, fmt.Errorf("untar: setattr2: %w", err)
+		}
+		st.Files++
+		st.NFSOps += 7
+	}
+	return st, nil
+}

@@ -1,0 +1,132 @@
+package workload_test
+
+import (
+	"testing"
+
+	"slice/internal/ensemble"
+	"slice/internal/route"
+	"slice/internal/workload"
+)
+
+func newEnsemble(t *testing.T, kind route.NameKind) *ensemble.Ensemble {
+	t.Helper()
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes:     4,
+		DirServers:       3,
+		SmallFileServers: 2,
+		Coordinator:      true,
+		NameKind:         kind,
+		MkdirP:           0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestUntarAgainstLiveStack(t *testing.T) {
+	for _, kind := range []route.NameKind{route.MkdirSwitching, route.NameHashing} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := newEnsemble(t, kind)
+			c, err := e.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			st, err := workload.Untar(c, c.Root(), workload.UntarConfig{Entries: 300})
+			if err != nil {
+				t.Fatalf("untar: %v", err)
+			}
+			if st.Files == 0 || st.Dirs == 0 {
+				t.Fatalf("stats %+v", st)
+			}
+			// 7 NFS ops per file create, per the paper.
+			if want := st.Files*7 + st.Dirs; st.NFSOps != want {
+				t.Fatalf("op count %d, want %d", st.NFSOps, want)
+			}
+			// The tree is walkable: count entries from the top.
+			top, _, err := c.Lookup(c.Root(), "untar")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ents, err := c.ReadDir(top)
+			if err != nil || len(ents) == 0 {
+				t.Fatalf("readdir top: %d entries, %v", len(ents), err)
+			}
+		})
+	}
+}
+
+func TestUntarSpreadsLoadAcrossDirServers(t *testing.T) {
+	e := newEnsemble(t, route.MkdirSwitching)
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := workload.Untar(c, c.Root(), workload.UntarConfig{Entries: 400}); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, d := range e.Dirs {
+		if d.Counters().Ops > 20 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("mkdir switching left %d of %d directory servers busy", busy, len(e.Dirs))
+	}
+}
+
+func TestSfsMixAgainstLiveStack(t *testing.T) {
+	e := newEnsemble(t, route.MkdirSwitching)
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := workload.Sfs(c, c.Root(), workload.SfsConfig{Files: 40, Ops: 400})
+	if err != nil {
+		t.Fatalf("sfs: %v", err)
+	}
+	if st.ReadErrs != 0 {
+		t.Fatalf("%d verified reads returned wrong data", st.ReadErrs)
+	}
+	if st.Reads == 0 || st.Writes == 0 || st.NameOps == 0 || st.Commits == 0 {
+		t.Fatalf("mix did not exercise all classes: %+v", st)
+	}
+	// The skewed file set crosses the threshold: both the small-file
+	// servers and the storage nodes must have seen traffic.
+	var sfWrites, bulkWrites uint64
+	for _, s := range e.Small {
+		sfWrites += s.Store().Stats().Writes
+	}
+	for _, n := range e.Storage {
+		bulkWrites += n.Store().Stats().Writes
+	}
+	if sfWrites == 0 || bulkWrites == 0 {
+		t.Fatalf("traffic split broken: smallfile=%d bulk=%d", sfWrites, bulkWrites)
+	}
+}
+
+func TestDDWriteThenReadVerifies(t *testing.T) {
+	e := newEnsemble(t, route.MkdirSwitching)
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const size = 512 * 1024
+	w, err := workload.DD(c, c.Root(), workload.DDConfig{Name: "big", Bytes: size, Write: true})
+	if err != nil || w.Bytes != size {
+		t.Fatalf("dd write: %+v, %v", w, err)
+	}
+	r, err := workload.DD(c, c.Root(), workload.DDConfig{Name: "big", Bytes: size, Verify: true})
+	if err != nil {
+		t.Fatalf("dd read: %v", err)
+	}
+	if r.Bytes != size || r.Mismatch {
+		t.Fatalf("dd verify: %+v", r)
+	}
+}
