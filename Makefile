@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race bench bench-proxy
+
+# The full gate: everything a change must pass before it lands.
+check: vet build race bench-proxy
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short run of every benchmark, as a smoke test.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The contended data-path benchmarks (compare against BENCH_proxy.json).
+bench-proxy:
+	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem -benchtime 1s -cpu 1,4 .

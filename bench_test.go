@@ -5,13 +5,18 @@
 package slice_test
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
+	"slice/internal/client"
 	"slice/internal/ensemble"
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/proxy"
 	"slice/internal/route"
 	"slice/internal/sim"
 	"slice/internal/workload"
@@ -244,6 +249,192 @@ func BenchmarkRouteIO(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Contended data-path benchmarks -------------------------------------
+//
+// These exercise the sharded soft state and the pooled-buffer forward path
+// under concurrency (run with -cpu 1,4 to see scaling). Baselines from
+// before the sharding/pooling rework live in BENCH_proxy.json.
+
+// forwardHarness is a self-contained proxy forward-path rig: one µproxy
+// interposed between per-goroutine client ports and per-goroutine
+// directory-server ports, exercising tap → classify → route → rewrite →
+// forward and the pass-through response path with no real servers.
+type forwardHarness struct {
+	net     *netsim.Network
+	p       *proxy.Proxy
+	virtual netsim.Addr
+	lanes   atomic.Uint32
+	logical int
+	servers []*netsim.Port
+}
+
+const fwdLanes = 64
+
+func newForwardHarness(b *testing.B) *forwardHarness {
+	b.Helper()
+	n := netsim.New(netsim.Config{QueueLen: 1024})
+	dirAddrs := make([]netsim.Addr, fwdLanes)
+	servers := make([]*netsim.Port, fwdLanes)
+	for i := range dirAddrs {
+		dirAddrs[i] = netsim.Addr{Host: uint32(1000 + i), Port: 2049}
+		port, err := n.Bind(dirAddrs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i] = port
+	}
+	dirs := route.NewTable(fwdLanes, dirAddrs)
+	storage := route.NewTable(fwdLanes, dirAddrs)
+	virtual := netsim.Addr{Host: 9999, Port: 2049}
+	p := proxy.New(proxy.Config{
+		Net:     n,
+		Host:    9998,
+		Virtual: virtual,
+		IO:      route.NewIOPolicy(nil, storage),
+		Names:   route.NewNamePolicy(route.MkdirSwitching, 0, dirs),
+	})
+	b.Cleanup(p.Close)
+	return &forwardHarness{net: n, p: p, virtual: virtual, logical: fwdLanes, servers: servers}
+}
+
+// fwdLane is one goroutine's private client endpoint + request template.
+// The FH site pins each lane to its own directory server.
+type fwdLane struct {
+	h       *forwardHarness
+	client  *netsim.Port
+	server  *netsim.Port
+	request []byte
+	reply   []byte
+	xid     uint32
+}
+
+func (h *forwardHarness) newLane(b *testing.B) *fwdLane {
+	i := h.lanes.Add(1) - 1
+	client, err := h.net.Bind(netsim.Addr{Host: uint32(2000 + i), Port: 999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	server := h.servers[i%fwdLanes]
+	fh := fhandle.Handle{Volume: 1, FileID: uint64(100 + i), Gen: 1, Site: i % uint32(h.logical)}
+	args := nfsproto.AccessArgs{FH: fh, Access: 1}
+	request := oncrpc.EncodeCall(1, nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcAccess), args.Encode)
+	reply := oncrpc.EncodeReply(1, oncrpc.AcceptSuccess, func(e *xdr.Encoder) { e.PutUint32(0) })
+	return &fwdLane{h: h, client: client, server: server, request: request, reply: reply}
+}
+
+func (l *fwdLane) roundTrip(b *testing.B) {
+	l.xid++
+	binary.BigEndian.PutUint32(l.request[oncrpc.OffXid:], l.xid)
+	binary.BigEndian.PutUint32(l.reply[oncrpc.OffXid:], l.xid)
+	if err := l.client.SendTo(l.h.virtual, l.request); err != nil {
+		b.Fatal(err)
+	}
+	d, err := l.server.Recv(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := netsim.Addr{
+		Host: binary.BigEndian.Uint32(d[netsim.OffSrcHost:]),
+		Port: binary.BigEndian.Uint16(d[netsim.OffSrcPort:]),
+	}
+	netsim.FreeBuf(d)
+	if err := l.server.SendTo(src, l.reply); err != nil {
+		b.Fatal(err)
+	}
+	d, err = l.client.Recv(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	netsim.FreeBuf(d)
+}
+
+// BenchmarkProxyForwardParallel drives concurrent request/response round
+// trips through the µproxy data path from independent clients.
+func BenchmarkProxyForwardParallel(b *testing.B) {
+	h := newForwardHarness(b)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		l := h.newLane(b)
+		for pb.Next() {
+			l.roundTrip(b)
+		}
+	})
+}
+
+// BenchmarkProxyForwardSerial is the same path single-threaded, for
+// per-op cost and allocation accounting.
+func BenchmarkProxyForwardSerial(b *testing.B) {
+	h := newForwardHarness(b)
+	l := h.newLane(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.roundTrip(b)
+	}
+}
+
+// BenchmarkAttrCacheHitParallel measures the sharded attribute-cache hit
+// path under concurrent readers.
+func BenchmarkAttrCacheHitParallel(b *testing.B) {
+	e, c, fh := cacheHitEnsemble(b)
+	defer e.Close()
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if ok, _ := e.Proxy.CachedAttr(fh); !ok {
+				b.Fatal("attr cache miss")
+			}
+		}
+	})
+}
+
+// BenchmarkNameCacheHitParallel measures the sharded name-cache hit path
+// under concurrent readers.
+func BenchmarkNameCacheHitParallel(b *testing.B) {
+	e, c, _ := cacheHitEnsemble(b)
+	defer e.Close()
+	defer c.Close()
+	root := c.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, ok := e.Proxy.CachedName(root, "hot"); !ok {
+				b.Fatal("name cache miss")
+			}
+		}
+	})
+}
+
+// cacheHitEnsemble stands up an ensemble with one file whose attributes
+// and name binding are resident in the µproxy caches.
+func cacheHitEnsemble(b *testing.B) (*ensemble.Ensemble, *client.Client, fhandle.Handle) {
+	b.Helper()
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: 2, DirServers: 2, SmallFileServers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := e.NewClient()
+	if err != nil {
+		e.Close()
+		b.Fatal(err)
+	}
+	fh, _, err := c.Create(c.Root(), "hot", 0o644, true)
+	if err != nil {
+		e.Close()
+		b.Fatal(err)
+	}
+	if _, err := c.Write(fh, 0, []byte("x"), false); err != nil {
+		e.Close()
+		b.Fatal(err)
+	}
+	return e, c, fh
 }
 
 // BenchmarkLiveUntarThroughput measures end-to-end live-stack throughput

@@ -14,8 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"slice/internal/ensemble"
@@ -27,11 +30,31 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:20490", "UDP endpoint of µproxy #1")
-		listen2 = flag.String("listen2", "127.0.0.1:20491", "UDP endpoint of µproxy #2")
-		stats   = flag.Duration("stats", 10*time.Second, "stats print interval")
+		listen    = flag.String("listen", "127.0.0.1:20490", "UDP endpoint of µproxy #1")
+		listen2   = flag.String("listen2", "127.0.0.1:20491", "UDP endpoint of µproxy #2")
+		stats     = flag.Duration("stats", 10*time.Second, "stats print interval")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		mutexFrac = flag.Int("mutexprofile", 0, "runtime.SetMutexProfileFraction rate (0 = off)")
+		blockRate = flag.Int("blockprofile", 0, "runtime.SetBlockProfileRate rate in ns (0 = off)")
 	)
 	flag.Parse()
+
+	// Contention profiling of the sharded data path: sample mutex hold/wait
+	// times and serve them at /debug/pprof/{mutex,block}.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("uproxyd: pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("uproxyd: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	e, err := ensemble.New(ensemble.Config{
 		StorageNodes:      4,
@@ -89,17 +112,20 @@ func main() {
 		select {
 		case <-sig:
 			fmt.Println("\nuproxyd: shutting down")
-			dump("µproxy#1", e.Proxy.Stats())
-			dump("µproxy#2", p2.Stats())
+			dump("µproxy#1", e.Proxy)
+			dump("µproxy#2", p2)
+			dumpPool()
 			return
 		case <-tick.C:
-			dump("µproxy#1", e.Proxy.Stats())
-			dump("µproxy#2", p2.Stats())
+			dump("µproxy#1", e.Proxy)
+			dump("µproxy#2", p2)
+			dumpPool()
 		}
 	}
 }
 
-func dump(name string, st proxy.StageStats) {
+func dump(name string, p *proxy.Proxy) {
+	st := p.Stats()
 	pkts := st.Requests + st.Responses
 	fmt.Printf("[%s] %d pkts (%d req / %d resp / %d absorbed)", name, pkts,
 		st.Requests, st.Responses, st.Absorbed)
@@ -111,4 +137,36 @@ func dump(name string, st proxy.StageStats) {
 			float64(st.SoftStateNS)/float64(pkts))
 	}
 	fmt.Println()
+
+	// Aggregate the per-shard soft-state occupancy and hit rates, noting
+	// the hottest shard so routing skew is visible at a glance.
+	var pend, attrs, names, maxPend int
+	var ahits, amiss, nhits, nmiss uint64
+	for _, sh := range p.ShardStats() {
+		pend += sh.Pending
+		attrs += sh.AttrEntries
+		names += sh.NameEntries
+		ahits += sh.AttrHits
+		amiss += sh.AttrMisses
+		nhits += sh.NameHits
+		nmiss += sh.NameMisses
+		if sh.Pending > maxPend {
+			maxPend = sh.Pending
+		}
+	}
+	fmt.Printf("[%s] shards: %d pending (max/shard %d), %d attrs (hit %s), %d names (hit %s)\n",
+		name, pend, maxPend, attrs, pct(ahits, amiss), names, pct(nhits, nmiss))
+}
+
+func dumpPool() {
+	ps := netsim.PoolStats()
+	fmt.Printf("[bufpool] %d gets / %d puts / %d fresh allocs / %d foreign frees\n",
+		ps.Gets, ps.Puts, ps.News, ps.Ignored)
+}
+
+func pct(hits, misses uint64) string {
+	if hits+misses == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(hits+misses))
 }

@@ -20,8 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slice/internal/checksum"
@@ -68,19 +68,23 @@ const (
 )
 
 // Build assembles a datagram from src to dst carrying payload, computing
-// the checksum. The payload is copied.
+// the checksum. The payload is copied into a pooled buffer owned by the
+// caller (see FreeBuf for the ownership rules).
 func Build(src, dst Addr, payload []byte) ([]byte, error) {
 	total := HeaderSize + len(payload)
 	if total > MaxDatagram {
 		return nil, fmt.Errorf("netsim: datagram size %d exceeds max %d", total, MaxDatagram)
 	}
-	d := make([]byte, total)
+	d := GetBuf(total)
 	binary.BigEndian.PutUint32(d[OffSrcHost:], src.Host)
 	binary.BigEndian.PutUint32(d[OffDstHost:], dst.Host)
 	binary.BigEndian.PutUint16(d[OffSrcPort:], src.Port)
 	binary.BigEndian.PutUint16(d[OffDstPort:], dst.Port)
 	binary.BigEndian.PutUint16(d[OffLength:], uint16(total))
 	copy(d[HeaderSize:], payload)
+	// Zero the checksum field before summing: the pooled buffer may hold
+	// the stale checksum of its previous datagram at this offset.
+	binary.BigEndian.PutUint16(d[OffChecksum:], 0)
 	binary.BigEndian.PutUint16(d[OffChecksum:], checksum.Sum(d))
 	return d, nil
 }
@@ -221,14 +225,36 @@ type Stats struct {
 	Bytes     uint64
 }
 
+// statCounters is the internal atomic form of Stats, so the datagram path
+// never serializes on a stats lock.
+type statCounters struct {
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	lost      atomic.Uint64
+	dropped   atomic.Uint64
+	bytes     atomic.Uint64
+}
+
+// TapToken identifies one tap registration; AddTap returns it and
+// RemoveTap consumes it. Matching registrations by token keeps the
+// datagram path free of reflection and lets uncomparable taps (function
+// values) register safely.
+type TapToken struct {
+	tap Tap
+}
+
 // Network is an in-memory datagram fabric.
 type Network struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex // guards ports
 	ports map[Addr]*Port
-	taps  []Tap
+
+	tapMu sync.Mutex                  // serializes AddTap/RemoveTap
+	taps  atomic.Pointer[[]*TapToken] // snapshot read lock-free by send
+
 	cfg   Config
+	rngMu sync.Mutex
 	rng   *rand.Rand
-	stats Stats
+	stats statCounters
 }
 
 // New creates a network with the given configuration.
@@ -249,45 +275,55 @@ func New(cfg Config) *Network {
 
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return Stats{
+		Sent:      n.stats.sent.Load(),
+		Delivered: n.stats.delivered.Load(),
+		Lost:      n.stats.lost.Load(),
+		Dropped:   n.stats.dropped.Load(),
+		Bytes:     n.stats.bytes.Load(),
+	}
 }
 
-// AddTap registers a tap; taps run in registration order.
-func (n *Network) AddTap(t Tap) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.taps = append(n.taps, t)
+// AddTap registers a tap; taps run in registration order. The returned
+// token unregisters it via RemoveTap.
+func (n *Network) AddTap(t Tap) *TapToken {
+	tok := &TapToken{tap: t}
+	n.tapMu.Lock()
+	defer n.tapMu.Unlock()
+	var cur []*TapToken
+	if p := n.taps.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*TapToken, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = tok
+	n.taps.Store(&next)
+	return tok
 }
 
-// RemoveTap unregisters a tap. Taps are matched by identity: pointer
-// equality for pointer taps, function identity for TapFunc.
-func (n *Network) RemoveTap(t Tap) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for i, x := range n.taps {
-		if tapEqual(x, t) {
-			n.taps = append(n.taps[:i], n.taps[i+1:]...)
+// RemoveTap unregisters the tap registration identified by tok. Removing
+// a nil or already-removed token is a no-op. Handlers already running
+// against the previous snapshot may still observe in-flight datagrams.
+func (n *Network) RemoveTap(tok *TapToken) {
+	if tok == nil {
+		return
+	}
+	n.tapMu.Lock()
+	defer n.tapMu.Unlock()
+	p := n.taps.Load()
+	if p == nil {
+		return
+	}
+	cur := *p
+	for i, x := range cur {
+		if x == tok {
+			next := make([]*TapToken, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			n.taps.Store(&next)
 			return
 		}
 	}
-}
-
-// tapEqual compares taps without panicking on uncomparable dynamic types
-// (function values).
-func tapEqual(a, b Tap) bool {
-	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
-	if va.Kind() != vb.Kind() {
-		return false
-	}
-	if va.Kind() == reflect.Func {
-		return va.Pointer() == vb.Pointer()
-	}
-	if !va.Comparable() || !vb.Comparable() {
-		return false
-	}
-	return a == b
 }
 
 // ErrPortInUse is returned by Bind for an already-bound address.
@@ -363,7 +399,8 @@ func (p *Port) SendTo(dst Addr, payload []byte) error {
 
 // Recv blocks until a datagram arrives, the timeout expires (zero means no
 // timeout), or the port is closed. The returned slice is owned by the
-// caller.
+// caller, who should hand it back with FreeBuf once it (and anything
+// aliasing it) is no longer needed.
 func (p *Port) Recv(timeout time.Duration) ([]byte, error) {
 	var timer *time.Timer
 	var timeoutCh <-chan time.Time
@@ -386,37 +423,32 @@ func (p *Port) Recv(timeout time.Duration) ([]byte, error) {
 var ErrTimeout = errors.New("netsim: receive timeout")
 
 // Inject sends a fully formed datagram (with header and checksum) into the
-// network. Taps do NOT see injected datagrams; this is how a consuming tap
-// forwards rewritten traffic without re-intercepting it.
+// network, transferring ownership of the buffer. Taps do NOT see injected
+// datagrams; this is how a consuming tap forwards rewritten traffic
+// without re-intercepting it.
 func (n *Network) Inject(d []byte) error {
 	return n.deliver(d)
 }
 
-// send runs taps, then delivers.
+// send runs taps, then delivers. Ownership of d transfers to the network
+// (and onward to a consuming tap, or to the receiving port).
 func (n *Network) send(d []byte) error {
-	n.mu.Lock()
-	taps := make([]Tap, len(n.taps))
-	copy(taps, n.taps)
-	n.stats.Sent++
-	n.stats.Bytes += uint64(len(d))
-	n.mu.Unlock()
+	n.stats.sent.Add(1)
+	n.stats.bytes.Add(uint64(len(d)))
 
-	for _, t := range taps {
-		switch t.Handle(d) {
-		case Drop:
-			n.count(func(s *Stats) { s.Dropped++ })
-			return nil
-		case Consumed:
-			return nil
+	if p := n.taps.Load(); p != nil {
+		for _, tok := range *p {
+			switch tok.tap.Handle(d) {
+			case Drop:
+				n.stats.dropped.Add(1)
+				FreeBuf(d)
+				return nil
+			case Consumed:
+				return nil
+			}
 		}
 	}
 	return n.deliver(d)
-}
-
-func (n *Network) count(f func(*Stats)) {
-	n.mu.Lock()
-	f(&n.stats)
-	n.mu.Unlock()
 }
 
 // deliver applies configured loss and places the datagram on the
@@ -428,11 +460,12 @@ func (n *Network) deliver(d []byte) error {
 		return fmt.Errorf("%w: short datagram", ErrBadDatagram)
 	}
 	if n.cfg.LossRate > 0 {
-		n.mu.Lock()
+		n.rngMu.Lock()
 		lose := n.rng.Float64() < n.cfg.LossRate
-		n.mu.Unlock()
+		n.rngMu.Unlock()
 		if lose {
-			n.count(func(s *Stats) { s.Lost++ })
+			n.stats.lost.Add(1)
+			FreeBuf(d)
 			return nil
 		}
 	}
@@ -440,12 +473,13 @@ func (n *Network) deliver(d []byte) error {
 		Host: binary.BigEndian.Uint32(d[OffDstHost:]),
 		Port: binary.BigEndian.Uint16(d[OffDstPort:]),
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	p, ok := n.ports[dst]
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if !ok {
 		// Unbound destination: a real network drops it on the floor.
-		n.count(func(s *Stats) { s.Dropped++ })
+		n.stats.dropped.Add(1)
+		FreeBuf(d)
 		return nil
 	}
 	if n.cfg.Latency > 0 {
@@ -459,9 +493,10 @@ func (n *Network) deliver(d []byte) error {
 func (n *Network) enqueue(p *Port, d []byte) {
 	select {
 	case p.ch <- d:
-		n.count(func(s *Stats) { s.Delivered++ })
+		n.stats.delivered.Add(1)
 	default:
 		// Queue overrun: drop, like a NIC ring buffer.
-		n.count(func(s *Stats) { s.Dropped++ })
+		n.stats.dropped.Add(1)
+		FreeBuf(d)
 	}
 }

@@ -175,7 +175,7 @@ func TestTapConsumeAndInject(t *testing.T) {
 		_ = n.Inject(d)
 		return Consumed
 	})
-	n.AddTap(tap)
+	tok := n.AddTap(tap)
 	_ = a.SendTo(b.Addr(), []byte("redirect me"))
 	d, err := c.Recv(time.Second)
 	if err != nil {
@@ -188,7 +188,7 @@ func TestTapConsumeAndInject(t *testing.T) {
 		t.Fatal("original destination also received the datagram")
 	}
 	// Removing the tap restores direct delivery.
-	n.RemoveTap(tap)
+	n.RemoveTap(tok)
 	_ = a.SendTo(b.Addr(), []byte("direct"))
 	if _, err := b.Recv(time.Second); err != nil {
 		t.Fatalf("delivery after tap removal: %v", err)

@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Datagram buffer pool.
+//
+// Every datagram the fabric carries is backed by a buffer drawn from a set
+// of size-class sync.Pools, so steady-state forwarding through an
+// interposed µproxy does no heap allocation: Build draws a buffer, the
+// datagram travels tap → queue → Recv in place, and the final receiver
+// returns it with FreeBuf.
+//
+// Ownership rule: a datagram buffer has exactly one owner at a time, and
+// handing the buffer to the network transfers ownership.
+//
+//   - Build/GetBuf give the caller an owned buffer.
+//   - send/Inject take ownership; if the network drops the datagram (tap
+//     drop, configured loss, unbound port, queue overrun) the network frees
+//     it.
+//   - A tap returning Consumed takes ownership and must either reinject the
+//     buffer or free it.
+//   - Recv transfers ownership to the receiver, who frees the buffer once
+//     done with it (and with anything aliasing it, e.g. parsed RPC bodies).
+//
+// FreeBuf ignores buffers whose capacity is not exactly a pool class, so
+// externally allocated datagrams may flow through the same paths safely.
+
+// bufClasses are the pooled buffer capacities, smallest first. The largest
+// class covers MaxDatagram.
+var bufClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, MaxDatagram}
+
+// bufPools holds one sync.Pool per size class. Pools store a *byte to the
+// first element of a full-class-capacity array (a pointer stores directly
+// into an interface, so Put/Get do not allocate); GetBuf rebuilds the
+// slice with unsafe.Slice.
+var bufPools [len(bufClasses)]sync.Pool
+
+// BufPoolStats counts buffer pool traffic.
+type BufPoolStats struct {
+	Gets    uint64 // buffers handed out by GetBuf
+	Puts    uint64 // buffers returned by FreeBuf
+	News    uint64 // pool misses that allocated a fresh buffer
+	Ignored uint64 // FreeBuf calls on foreign (non-class) buffers
+}
+
+var poolGets, poolPuts, poolNews, poolIgnored atomic.Uint64
+
+// PoolStats returns a snapshot of the process-wide buffer pool counters.
+func PoolStats() BufPoolStats {
+	return BufPoolStats{
+		Gets:    poolGets.Load(),
+		Puts:    poolPuts.Load(),
+		News:    poolNews.Load(),
+		Ignored: poolIgnored.Load(),
+	}
+}
+
+// classFor returns the index of the smallest class holding n bytes, or -1
+// if n exceeds the largest class.
+func classFor(n int) int {
+	for i, c := range bufClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// classOf returns the index of the class whose capacity is exactly c, or
+// -1 for foreign buffers.
+func classOf(c int) int {
+	for i, cc := range bufClasses {
+		if c == cc {
+			return i
+		}
+		if c < cc {
+			break
+		}
+	}
+	return -1
+}
+
+// GetBuf returns an owned buffer of length n from the pool. The contents
+// are unspecified.
+func GetBuf(n int) []byte {
+	poolGets.Add(1)
+	cls := classFor(n)
+	if cls < 0 {
+		poolNews.Add(1)
+		return make([]byte, n)
+	}
+	if p, _ := bufPools[cls].Get().(*byte); p != nil {
+		return unsafe.Slice(p, bufClasses[cls])[:n]
+	}
+	poolNews.Add(1)
+	return make([]byte, n, bufClasses[cls])
+}
+
+// FreeBuf returns a buffer obtained from GetBuf (or Build, or Recv) to the
+// pool. Freeing nil or a foreign buffer is a no-op; the caller must not
+// touch the buffer, or anything aliasing it, afterwards.
+func FreeBuf(d []byte) {
+	if cap(d) == 0 {
+		return
+	}
+	cls := classOf(cap(d))
+	if cls < 0 {
+		poolIgnored.Add(1)
+		return
+	}
+	poolPuts.Add(1)
+	d = d[:1]
+	bufPools[cls].Put(&d[0])
+}

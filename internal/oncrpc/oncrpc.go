@@ -255,6 +255,7 @@ func (c *Client) recvLoop() {
 		payload := netsim.Payload(d)
 		rep, err := ParseReply(payload)
 		if err != nil {
+			netsim.FreeBuf(d)
 			continue // not a reply; ignore
 		}
 		c.mu.Lock()
@@ -264,12 +265,13 @@ func (c *Client) recvLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
-			// Copy the body: the datagram buffer is reused by callers.
+			// Copy the body: the datagram buffer goes back to the pool.
 			body := make([]byte, len(rep.Body))
 			copy(body, rep.Body)
 			rep.Body = body
 			ch <- rep
 		}
+		netsim.FreeBuf(d)
 	}
 }
 
@@ -403,10 +405,12 @@ func (s *Server) serveLoop() {
 		}
 		h, err := netsim.Parse(d)
 		if err != nil {
+			netsim.FreeBuf(d)
 			continue
 		}
 		call, err := ParseCall(netsim.Payload(d))
 		if err != nil {
+			netsim.FreeBuf(d)
 			continue
 		}
 		key := drcKey{host: h.Src, xid: call.Xid}
@@ -416,6 +420,7 @@ func (s *Server) serveLoop() {
 			// Retransmission of a completed call: replay the reply.
 			reply := s.drcRing[idx].reply
 			s.mu.Unlock()
+			netsim.FreeBuf(d)
 			_ = s.port.SendTo(h.Src, reply)
 			continue
 		}
@@ -423,16 +428,20 @@ func (s *Server) serveLoop() {
 			// Retransmission of an in-progress call: drop; the client
 			// will retry and eventually hit the DRC.
 			s.mu.Unlock()
+			netsim.FreeBuf(d)
 			continue
 		}
 		s.inflight[key] = true
 		s.mu.Unlock()
 
 		s.wg.Add(1)
-		go func(call Call, from netsim.Addr, key drcKey) {
+		go func(call Call, from netsim.Addr, key drcKey, d []byte) {
 			defer s.wg.Done()
 			res, accept := s.handler.ServeRPC(call, from)
 			reply := EncodeReply(call.Xid, accept, res)
+			// call.Args (and possibly res) alias the request datagram;
+			// EncodeReply copied everything out, so it can go back now.
+			netsim.FreeBuf(d)
 
 			s.mu.Lock()
 			delete(s.inflight, key)
@@ -446,6 +455,6 @@ func (s *Server) serveLoop() {
 			s.mu.Unlock()
 
 			_ = s.port.SendTo(from, reply)
-		}(call, h.Src, key)
+		}(call, h.Src, key, d)
 	}
 }

@@ -1,0 +1,125 @@
+package proxy_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"slice/internal/client"
+)
+
+// TestConcurrentTrafficDuringFlush hammers the µproxy from several
+// clients while another goroutine repeatedly discards the soft state
+// (FlushSoftState) and forces attribute writeback. Soft state is
+// recoverable by construction (§2.1): every request must still complete —
+// at worst via end-to-end retransmission — and no reply may be lost or
+// misdelivered. Run under -race this also exercises the shard locking,
+// the pooled pending records, and the out-of-lock eviction writeback
+// against concurrent flushes.
+func TestConcurrentTrafficDuringFlush(t *testing.T) {
+	e := newEnsemble(t, nil)
+
+	const workers = 6
+	const opsPer = 40
+
+	stop := make(chan struct{})
+	flusherDone := make(chan struct{})
+	go func() {
+		defer close(flusherDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Proxy.WritebackAttrs()
+			e.Proxy.FlushSoftState()
+		}
+	}()
+
+	// NewClient mutates ensemble bookkeeping and is not meant to be called
+	// concurrently, so each worker's client is created up front.
+	clients := make([]*client.Client, workers)
+	for w := range clients {
+		c, err := e.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[w] = c
+		defer c.Close()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := clients[w]
+			name := fmt.Sprintf("flush-%d", w)
+			fh, _, err := c.Create(c.Root(), name, 0o644, true)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: create: %w", w, err)
+				return
+			}
+			payload := bytes.Repeat([]byte{byte('a' + w)}, 512)
+			for i := 0; i < opsPer; i++ {
+				if _, err := c.Write(fh, uint64(i)*512, payload, true); err != nil {
+					errs <- fmt.Errorf("worker %d op %d: write: %w", w, i, err)
+					return
+				}
+				buf := make([]byte, 512)
+				if _, _, err := c.Read(fh, uint64(i)*512, buf); err != nil {
+					errs <- fmt.Errorf("worker %d op %d: read: %w", w, i, err)
+					return
+				}
+				if !bytes.Equal(buf, payload) {
+					errs <- fmt.Errorf("worker %d op %d: read returned wrong bytes", w, i)
+					return
+				}
+				if _, err := c.GetAttr(fh); err != nil {
+					errs <- fmt.Errorf("worker %d op %d: getattr: %w", w, i, err)
+					return
+				}
+				if _, _, err := c.Lookup(c.Root(), name); err != nil {
+					errs <- fmt.Errorf("worker %d op %d: lookup: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-flusherDone
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Flushing may legitimately discard not-yet-written-back attribute
+	// updates (soft state), but the data itself lives on the storage
+	// nodes and must all be there: read everything back through a fresh
+	// client whose caches saw none of the traffic.
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for w := 0; w < workers; w++ {
+		fh, _, err := c.Lookup(c.Root(), fmt.Sprintf("flush-%d", w))
+		if err != nil {
+			t.Fatalf("final lookup worker %d: %v", w, err)
+		}
+		want := bytes.Repeat([]byte{byte('a' + w)}, 512)
+		buf := make([]byte, 512)
+		for i := 0; i < opsPer; i++ {
+			if _, _, err := c.Read(fh, uint64(i)*512, buf); err != nil {
+				t.Fatalf("final read worker %d chunk %d: %v", w, i, err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("worker %d chunk %d: lost or corrupt data after flushes", w, i)
+			}
+		}
+	}
+}

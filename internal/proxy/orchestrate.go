@@ -154,6 +154,34 @@ func (p *Proxy) dataSites(fh fhandle.Handle) []netsim.Addr {
 	return out
 }
 
+// observeAttr folds authoritative attributes into the cache; if the
+// insert evicted a dirty entry, its attributes are written back outside
+// the shard lock, on a helper goroutine, so a slow directory server never
+// stalls unrelated cache traffic.
+func (p *Proxy) observeAttr(fh fhandle.Handle, at attr.Attr) {
+	if e, dirty := p.attrs.observe(fh, at); dirty {
+		p.writebackEvicted(e)
+	}
+}
+
+// updateAttr applies a local attribute update (I/O completion) to the
+// cache, with the same out-of-lock eviction writeback as observeAttr.
+func (p *Proxy) updateAttr(fh fhandle.Handle, fn func(*attr.Attr)) {
+	if e, dirty := p.attrs.update(fh, fn); dirty {
+		p.writebackEvicted(e)
+	}
+}
+
+// writebackEvicted pushes a dirty evictee's attributes to its directory
+// server asynchronously.
+func (p *Proxy) writebackEvicted(e attrEntry) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.pushOne(e.fh, e.at)
+	}()
+}
+
 // resolveChild finds the handle bound to (dir, name), first in the name
 // cache, then by an own LOOKUP to the responsible directory server.
 func (p *Proxy) resolveChild(dir fhandle.Handle, name string) (fhandle.Handle, bool) {
@@ -173,7 +201,7 @@ func (p *Proxy) resolveChild(dir fhandle.Handle, name string) (fhandle.Handle, b
 		return fhandle.Handle{}, false
 	}
 	if res.Attr.Present {
-		p.attrs.observe(res.FH, res.Attr.Attr)
+		p.observeAttr(res.FH, res.Attr.Attr)
 	}
 	p.names.put(dir, name, res.FH)
 	return res.FH, true
@@ -181,12 +209,13 @@ func (p *Proxy) resolveChild(dir fhandle.Handle, name string) (fhandle.Handle, b
 
 // routeRemove forwards REMOVE to the directory server with an onOK hook
 // that clears the victim's data across the storage sites under an
-// intention, then forgets its soft state.
-func (p *Proxy) routeRemove(d []byte, client netsim.Addr, key pendKey, pd *pendingReq, body []byte) {
+// intention, then forgets its soft state. It owns d: every path forwards
+// or frees it.
+func (p *Proxy) routeRemove(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 	addr, err := p.cfg.Names.AddrFor(&pd.info)
 	if err != nil {
-		p.st.dropped.Add(1)
-		return
+		putPending(pd)
+		return p.consumeDrop(d)
 	}
 	dir, name := pd.info.FH, pd.info.Name
 	child, known := p.resolveChild(dir, name)
@@ -205,7 +234,7 @@ func (p *Proxy) routeRemove(d []byte, client netsim.Addr, key pendKey, pd *pendi
 		gaInfo := nfsproto.RequestInfo{Proc: nfsproto.ProcGetAttr, FH: child}
 		if addr, err := p.cfg.Names.AddrFor(&gaInfo); err == nil {
 			if err := p.nfsCall(addr, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: child}, &ga); err == nil && ga.Status == nfsproto.OK {
-				p.attrs.observe(child, ga.Attr)
+				p.observeAttr(child, ga.Attr)
 				return // still linked: keep the data
 			}
 		}
@@ -217,21 +246,21 @@ func (p *Proxy) routeRemove(d []byte, client netsim.Addr, key pendKey, pd *pendi
 		p.attrs.forget(child)
 		p.maps.forget(child)
 	}
-	p.forward(d, key, pd, addr)
+	return p.forward(d, key, pd, addr)
 }
 
 // routeSetAttr forwards SETATTR; truncating updates additionally clear
 // data beyond the new size on every data site, under an intention.
-func (p *Proxy) routeSetAttr(d []byte, client netsim.Addr, key pendKey, pd *pendingReq, body []byte) {
+func (p *Proxy) routeSetAttr(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 	var args nfsproto.SetAttrArgs
-	if err := args.Decode(xdr.NewDecoder(body)); err != nil {
-		p.st.dropped.Add(1)
-		return
+	if err := args.Decode(xdr.NewDecoder(netsim.Payload(d)[oncrpc.CallHeader:])); err != nil {
+		putPending(pd)
+		return p.consumeDrop(d)
 	}
 	addr, err := p.cfg.Names.AddrFor(&pd.info)
 	if err != nil {
-		p.st.dropped.Add(1)
-		return
+		putPending(pd)
+		return p.consumeDrop(d)
 	}
 	if args.Sattr.SetSize {
 		fh, size := args.FH, args.Sattr.Size
@@ -244,7 +273,7 @@ func (p *Proxy) routeSetAttr(d []byte, client netsim.Addr, key pendKey, pd *pend
 			}
 			p.coordComplete(id)
 			now := attr.FromGo(time.Now())
-			p.attrs.update(fh, func(a *attr.Attr) {
+			p.updateAttr(fh, func(a *attr.Attr) {
 				a.Size = size
 				a.Mtime = now
 				a.Ctime = now
@@ -252,7 +281,7 @@ func (p *Proxy) routeSetAttr(d []byte, client netsim.Addr, key pendKey, pd *pend
 			p.maps.forget(fh)
 		}
 	}
-	p.forward(d, key, pd, addr)
+	return p.forward(d, key, pd, addr)
 }
 
 // absorbCommit answers COMMIT without forwarding it: the µproxy pushes the
@@ -316,17 +345,14 @@ func (p *Proxy) pushAttrs(fh fhandle.Handle) {
 }
 
 // WritebackAttrs pushes every dirty attribute entry to the directory
-// servers and evicts entries over the cache bound, writing back dirty
-// evictees. The background flusher calls this at WritebackInterval; tests
-// and the commit path call it directly.
+// servers. Capacity eviction happens inline at insert time (LRU per
+// shard), with dirty evictees written back outside the shard lock; this
+// periodic sweep only bounds the drift of entries that stay resident.
+// The background flusher calls this at WritebackInterval; tests and the
+// commit path call it directly.
 func (p *Proxy) WritebackAttrs() {
 	for _, e := range p.attrs.allDirty() {
 		p.pushOne(e.fh, e.at)
-	}
-	for _, e := range p.attrs.evictOver() {
-		if e.dirty {
-			p.pushOne(e.fh, e.at)
-		}
 	}
 }
 

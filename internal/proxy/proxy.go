@@ -64,7 +64,16 @@ type pendKey struct {
 	xid    uint32
 }
 
-// pendingReq is the soft-state record of one in-flight request.
+// pendHash mixes a pending-request identity for shard selection.
+func pendHash(k pendKey) uint64 {
+	h := uint64(k.client.Host)<<32 ^ uint64(k.client.Port)<<16 ^ uint64(k.xid)
+	h *= 0x9E3779B97F4A7C15
+	return h
+}
+
+// pendingReq is the soft-state record of one in-flight request. Records
+// are pooled: the steady-state forward path recycles them instead of
+// allocating.
 type pendingReq struct {
 	proc nfsproto.Proc
 	prog uint32
@@ -72,8 +81,11 @@ type pendingReq struct {
 
 	// targets are the physical servers the request was routed to, kept
 	// so client retransmissions are re-forwarded along the same path
-	// (the servers' duplicate-request caches absorb the repeats).
-	targets []netsim.Addr
+	// (the servers' duplicate-request caches absorb the repeats). For
+	// the common fan-outs it aliases targetsBuf, so recording the path
+	// costs no allocation.
+	targets    []netsim.Addr
+	targetsBuf [4]netsim.Addr
 
 	// expect is the number of replies still awaited (mirrored writes
 	// expect one per replica); replied dedups per-replica replies, since
@@ -84,17 +96,37 @@ type pendingReq struct {
 	// request so the worst outcome is what the client sees.
 	errReply []byte
 
-	// onOK runs (in the response goroutine) when a successful reply
-	// arrives, before it is forwarded; orchestration hooks use it.
+	// onOK runs when a successful reply arrives, before it is forwarded;
+	// orchestration hooks use it. Responses with a hook are finished on
+	// a helper goroutine because hooks issue blocking RPCs.
 	onOK func()
+}
+
+var pendPool = sync.Pool{New: func() any { return new(pendingReq) }}
+
+// getPending returns a zeroed pending record from the pool.
+func getPending() *pendingReq { return pendPool.Get().(*pendingReq) }
+
+// putPending recycles a record. Callers own pd exclusively: it must
+// already be out of the pending table.
+func putPending(pd *pendingReq) {
+	*pd = pendingReq{}
+	pendPool.Put(pd)
+}
+
+// pendShard is one lock's worth of the pending-request table.
+type pendShard struct {
+	mu   sync.Mutex
+	pend map[pendKey]*pendingReq
 }
 
 // Proxy is one interposed request router.
 type Proxy struct {
 	cfg Config
 
-	mu   sync.Mutex
-	pend map[pendKey]*pendingReq
+	// shards holds the pending-request table, split so that concurrent
+	// clients contend only when they hash to the same shard.
+	shards [numShards]pendShard
 
 	attrs *attrCache
 	names *nameCache
@@ -103,6 +135,7 @@ type Proxy struct {
 	clientsMu sync.Mutex
 	clients   map[netsim.Addr]*oncrpc.Client
 
+	tapTok    *netsim.TapToken
 	st        stageCounters
 	stopCh    chan struct{}
 	closeOnce sync.Once
@@ -113,14 +146,16 @@ type Proxy struct {
 func New(cfg Config) *Proxy {
 	p := &Proxy{
 		cfg:     cfg,
-		pend:    make(map[pendKey]*pendingReq),
 		attrs:   newAttrCache(cfg.AttrCacheSize),
 		names:   newNameCache(cfg.NameCacheSize),
 		maps:    newMapCache(),
 		clients: make(map[netsim.Addr]*oncrpc.Client),
 		stopCh:  make(chan struct{}),
 	}
-	cfg.Net.AddTap(p)
+	for i := range p.shards {
+		p.shards[i].pend = make(map[pendKey]*pendingReq)
+	}
+	p.tapTok = cfg.Net.AddTap(p)
 	if cfg.WritebackInterval > 0 {
 		p.wg.Add(1)
 		go p.writebackLoop()
@@ -132,7 +167,7 @@ func New(cfg Config) *Proxy {
 // It is idempotent.
 func (p *Proxy) Close() {
 	p.closeOnce.Do(func() {
-		p.cfg.Net.RemoveTap(p)
+		p.cfg.Net.RemoveTap(p.tapTok)
 		close(p.stopCh)
 		p.wg.Wait()
 		p.clientsMu.Lock()
@@ -146,15 +181,30 @@ func (p *Proxy) Close() {
 // Stats returns a snapshot of the per-stage CPU accounting.
 func (p *Proxy) Stats() StageStats { return p.st.snapshot() }
 
+// shardFor returns the pending-table shard for key.
+func (p *Proxy) shardFor(key pendKey) *pendShard {
+	return &p.shards[shardIndex(pendHash(key))]
+}
+
+// resetPend discards every pending record. In-flight replies for the
+// dropped records pass through to the client untouched; clients recover
+// by retransmission, as §2.1 requires.
+func (p *Proxy) resetPend() {
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.pend = make(map[pendKey]*pendingReq)
+		s.mu.Unlock()
+	}
+}
+
 // FlushSoftState discards all soft state: pending request records and all
 // caches. The architecture guarantees correctness across this (§2.1);
 // clients recover by retransmission. Dirty attributes are pushed first so
 // only timestamps within the drift bound are lost.
 func (p *Proxy) FlushSoftState() {
 	p.WritebackAttrs()
-	p.mu.Lock()
-	p.pend = make(map[pendKey]*pendingReq)
-	p.mu.Unlock()
+	p.resetPend()
 	p.attrs.clear()
 	p.names.clear()
 	p.maps.clear()
@@ -163,9 +213,7 @@ func (p *Proxy) FlushSoftState() {
 // DropSoftState discards soft state without writeback, simulating a
 // µproxy crash (uncommitted attribute updates are lost, as §4.1 permits).
 func (p *Proxy) DropSoftState() {
-	p.mu.Lock()
-	p.pend = make(map[pendKey]*pendingReq)
-	p.mu.Unlock()
+	p.resetPend()
 	p.attrs.clear()
 	p.names.clear()
 	p.maps.clear()
@@ -178,7 +226,25 @@ func (p *Proxy) CachedAttr(fh fhandle.Handle) (bool, uint64) {
 	return ok, at.Size
 }
 
-// Handle implements netsim.Tap: the packet-filter entry point.
+// CachedName exposes the name cache: the cached child handle bound to
+// (dir, name), if any.
+func (p *Proxy) CachedName(dir fhandle.Handle, name string) (fhandle.Handle, bool) {
+	return p.names.get(dir, name)
+}
+
+// consumeDrop disposes of a datagram the µproxy consumed but cannot
+// process (malformed or unroutable).
+func (p *Proxy) consumeDrop(d []byte) netsim.Verdict {
+	p.st.dropped.Add(1)
+	netsim.FreeBuf(d)
+	return netsim.Consumed
+}
+
+// Handle implements netsim.Tap: the packet-filter entry point. It runs on
+// the sender's goroutine and processes the fast path inline — no
+// per-packet goroutine, no allocation in the steady state. Only
+// operations that must block (commit absorption, remove orchestration,
+// block-map fetches, response hooks) are handed to helper goroutines.
 func (p *Proxy) Handle(d []byte) netsim.Verdict {
 	t0 := time.Now()
 	p.st.intercepted.Add(1)
@@ -194,45 +260,36 @@ func (p *Proxy) Handle(d []byte) netsim.Verdict {
 
 	if dst == p.cfg.Virtual && mtype == oncrpc.MsgCall {
 		p.st.interceptNS.Add(uint64(time.Since(t0)))
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			p.handleRequest(d)
-		}()
-		return netsim.Consumed
+		return p.handleRequest(d)
 	}
 	if mtype == oncrpc.MsgReply {
 		xid := binary.BigEndian.Uint32(payload[oncrpc.OffXid:])
 		key := pendKey{client: dst, xid: xid}
-		p.mu.Lock()
-		_, ok := p.pend[key]
-		p.mu.Unlock()
+		s := p.shardFor(key)
+		s.mu.Lock()
+		_, ok := s.pend[key]
+		s.mu.Unlock()
 		if ok {
 			p.st.interceptNS.Add(uint64(time.Since(t0)))
-			p.wg.Add(1)
-			go func() {
-				defer p.wg.Done()
-				p.handleResponse(d, key)
-			}()
-			return netsim.Consumed
+			return p.handleResponse(d, key)
 		}
 	}
 	p.st.interceptNS.Add(uint64(time.Since(t0)))
 	return netsim.Pass
 }
 
-// handleRequest classifies and routes one intercepted call.
-func (p *Proxy) handleRequest(d []byte) {
+// handleRequest classifies and routes one intercepted call. It always
+// takes ownership of d: every path forwards it, frees it, or hands it to
+// a helper goroutine.
+func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 	t0 := time.Now()
 	h, err := netsim.Parse(d)
 	if err != nil {
-		p.st.dropped.Add(1)
-		return
+		return p.consumeDrop(d)
 	}
 	call, err := oncrpc.ParseCall(netsim.Payload(d))
 	if err != nil {
-		p.st.dropped.Add(1)
-		return
+		return p.consumeDrop(d)
 	}
 	key := pendKey{client: h.Src, xid: call.Xid}
 
@@ -243,11 +300,20 @@ func (p *Proxy) handleRequest(d []byte) {
 	// µproxy that swallowed retransmissions would turn one lost packet
 	// into a permanently stuck request — the end-to-end recovery of
 	// §2.1 depends on the µproxy staying transparent to retries.)
-	p.mu.Lock()
-	if pd, busy := p.pend[key]; busy {
-		targets := pd.targets
+	// The recorded path is copied out under the shard lock: the record
+	// is pooled and may be recycled the moment the lock is released.
+	s := p.shardFor(key)
+	s.mu.Lock()
+	if pd := s.pend[key]; pd != nil {
+		var tbuf [4]netsim.Addr
+		var targets []netsim.Addr
+		if len(pd.targets) <= len(tbuf) {
+			targets = tbuf[:copy(tbuf[:], pd.targets)]
+		} else {
+			targets = append([]netsim.Addr(nil), pd.targets...)
+		}
 		info := pd.info
-		p.mu.Unlock()
+		s.mu.Unlock()
 		p.st.decodeNS.Add(uint64(time.Since(t0)))
 		// Storage-bound retransmissions need the capability re-stamped:
 		// the client resends the raw handle.
@@ -258,74 +324,94 @@ func (p *Proxy) handleRequest(d []byte) {
 			off := netsim.HeaderSize + oncrpc.CallHeader + info.FHOffset + capFieldOffset
 			_ = netsim.RewriteUint64(d, off, capVal)
 		}
-		for i, target := range targets {
-			dup := d
-			if i > 0 {
-				dup = make([]byte, len(d))
-				copy(dup, d)
-			}
-			netsim.RewriteDst(dup, target)
-			_ = p.cfg.Net.Inject(dup)
-		}
-		return
+		p.injectToAll(d, targets)
+		return netsim.Consumed
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 
 	if call.Program == mountProgram {
 		p.st.decodeNS.Add(uint64(time.Since(t0)))
 		addr, err := p.cfg.Names.Dirs.Lookup(p.cfg.MountSite)
 		if err != nil {
-			p.st.dropped.Add(1)
-			return
+			return p.consumeDrop(d)
 		}
-		p.forward(d, key, &pendingReq{prog: call.Program, expect: 1}, addr)
-		return
+		pd := getPending()
+		pd.prog = call.Program
+		pd.expect = 1
+		return p.forward(d, key, pd, addr)
 	}
 	if call.Program != nfsproto.Program {
-		p.st.dropped.Add(1)
-		return
+		return p.consumeDrop(d)
 	}
 
 	proc := nfsproto.Proc(call.Proc)
 	info, err := nfsproto.ParseCall(proc, call.Body)
 	p.st.decodeNS.Add(uint64(time.Since(t0)))
 	if err != nil {
-		p.st.dropped.Add(1)
-		return
+		return p.consumeDrop(d)
 	}
 
-	pd := &pendingReq{proc: proc, prog: call.Program, info: info, expect: 1}
+	pd := getPending()
+	pd.proc = proc
+	pd.prog = call.Program
+	pd.info = info
+	pd.expect = 1
 
 	switch proc {
 	case nfsproto.ProcCommit:
 		// Commit is absorbed: the µproxy coordinates multi-site commit
-		// itself and answers the client (§3.3.2, §4.1).
-		p.absorbCommit(h.Src, call.Xid, info)
-		return
+		// itself and answers the client (§3.3.2, §4.1). That is a chain
+		// of blocking RPCs, so it runs off the sender's goroutine; the
+		// request datagram itself is no longer needed.
+		putPending(pd)
+		netsim.FreeBuf(d)
+		src, xid := h.Src, call.Xid
+		ci := info // case-local copy: capturing info itself would heap-allocate it on every request
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.absorbCommit(src, xid, ci)
+		}()
+		return netsim.Consumed
 	case nfsproto.ProcRemove:
-		p.routeRemove(d, h.Src, key, pd, call.Body)
-		return
+		// Remove orchestration resolves the victim's handle first, which
+		// may issue a LOOKUP of its own: run it off the sender's
+		// goroutine, which owns d until it is forwarded.
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.routeRemove(d, key, pd)
+		}()
+		return netsim.Consumed
 	case nfsproto.ProcSetAttr:
-		p.routeSetAttr(d, h.Src, key, pd, call.Body)
-		return
+		return p.routeSetAttr(d, key, pd)
 	case nfsproto.ProcRead, nfsproto.ProcWrite:
-		p.routeIO(d, key, pd)
-		return
+		if info.FH.Mapped() && !p.cfg.Coord.IsZero() {
+			// Mapped files may need a blocking block-map fetch from the
+			// coordinator before they can be routed.
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.routeIO(d, key, pd)
+			}()
+			return netsim.Consumed
+		}
+		return p.routeIO(d, key, pd)
 	default:
 		t1 := time.Now()
 		addr, err := p.cfg.Names.AddrFor(&pd.info)
 		if err != nil {
-			p.st.dropped.Add(1)
-			return
+			putPending(pd)
+			return p.consumeDrop(d)
 		}
 		p.st.rewriteNS.Add(uint64(time.Since(t1)))
-		p.forward(d, key, pd, addr)
+		return p.forward(d, key, pd, addr)
 	}
 }
 
 // routeIO directs a read or write at the small-file server or the storage
 // array per the threshold and striping policies (§3.1).
-func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) {
+func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 	t0 := time.Now()
 	info := &pd.info
 	io := p.cfg.IO
@@ -333,12 +419,11 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) {
 	if io.SmallFileTarget(info.Offset) {
 		addr, err := io.SmallFileServer(info.FH)
 		if err != nil {
-			p.st.dropped.Add(1)
-			return
+			putPending(pd)
+			return p.consumeDrop(d)
 		}
 		p.st.rewriteNS.Add(uint64(time.Since(t0)))
-		p.forward(d, key, pd, addr)
-		return
+		return p.forward(d, key, pd, addr)
 	}
 
 	// Requests bound for storage nodes carry a capability: rewrite the
@@ -348,8 +433,8 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) {
 		capVal := fhandle.Capability(p.cfg.CapKey, info.FH)
 		off := netsim.HeaderSize + oncrpc.CallHeader + info.FHOffset + capFieldOffset
 		if err := netsim.RewriteUint64(d, off, capVal); err != nil {
-			p.st.dropped.Add(1)
-			return
+			putPending(pd)
+			return p.consumeDrop(d)
 		}
 	}
 
@@ -357,13 +442,12 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) {
 	if info.Proc == nfsproto.ProcWrite && info.FH.Mirrored() {
 		targets, err := p.writeTargets(info.FH, stripe)
 		if err != nil || len(targets) == 0 {
-			p.st.dropped.Add(1)
-			return
+			putPending(pd)
+			return p.consumeDrop(d)
 		}
 		pd.expect = len(targets)
 		p.st.rewriteNS.Add(uint64(time.Since(t0)))
-		p.forwardMulti(d, key, pd, targets)
-		return
+		return p.forwardMulti(d, key, pd, targets)
 	}
 
 	var addr netsim.Addr
@@ -378,11 +462,11 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) {
 		}
 	}
 	if err != nil {
-		p.st.dropped.Add(1)
-		return
+		putPending(pd)
+		return p.consumeDrop(d)
 	}
 	p.st.rewriteNS.Add(uint64(time.Since(t0)))
-	p.forward(d, key, pd, addr)
+	return p.forward(d, key, pd, addr)
 }
 
 // readTarget resolves the storage node for a read, consulting block maps
@@ -435,12 +519,14 @@ func (p *Proxy) mappedSite(fh fhandle.Handle, stripe uint64) (uint32, error) {
 
 // forward registers the pending record, rewrites the destination in place
 // (incremental checksum update), and reinjects the datagram.
-func (p *Proxy) forward(d []byte, key pendKey, pd *pendingReq, target netsim.Addr) {
+func (p *Proxy) forward(d []byte, key pendKey, pd *pendingReq, target netsim.Addr) netsim.Verdict {
 	t0 := time.Now()
-	pd.targets = []netsim.Addr{target}
-	p.mu.Lock()
-	p.pend[key] = pd
-	p.mu.Unlock()
+	pd.targetsBuf[0] = target
+	pd.targets = pd.targetsBuf[:1]
+	s := p.shardFor(key)
+	s.mu.Lock()
+	s.pend[key] = pd
+	s.mu.Unlock()
 	p.st.softStateNS.Add(uint64(time.Since(t0)))
 
 	t1 := time.Now()
@@ -448,31 +534,47 @@ func (p *Proxy) forward(d []byte, key pendKey, pd *pendingReq, target netsim.Add
 	p.st.rewriteNS.Add(uint64(time.Since(t1)))
 	p.st.requests.Add(1)
 	_ = p.cfg.Net.Inject(d)
+	return netsim.Consumed
 }
 
 // forwardMulti replicates the datagram to several targets (mirrored
 // writes). Each copy keeps the client's source address and xid so replies
 // pair with the same pending record.
-func (p *Proxy) forwardMulti(d []byte, key pendKey, pd *pendingReq, targets []netsim.Addr) {
+func (p *Proxy) forwardMulti(d []byte, key pendKey, pd *pendingReq, targets []netsim.Addr) netsim.Verdict {
 	t0 := time.Now()
-	pd.targets = targets
-	p.mu.Lock()
-	p.pend[key] = pd
-	p.mu.Unlock()
+	if len(targets) <= len(pd.targetsBuf) {
+		pd.targets = pd.targetsBuf[:copy(pd.targetsBuf[:], targets)]
+	} else {
+		pd.targets = targets
+	}
+	s := p.shardFor(key)
+	s.mu.Lock()
+	s.pend[key] = pd
+	s.mu.Unlock()
 	p.st.softStateNS.Add(uint64(time.Since(t0)))
 
 	t1 := time.Now()
+	p.injectToAll(d, targets)
+	p.st.rewriteNS.Add(uint64(time.Since(t1)))
+	p.st.requests.Add(1)
+	return netsim.Consumed
+}
+
+// injectToAll sends d to every target, duplicating it from the buffer
+// pool for all but the first. Ownership of d transfers to the network.
+func (p *Proxy) injectToAll(d []byte, targets []netsim.Addr) {
 	for i, target := range targets {
 		dup := d
 		if i > 0 {
-			dup = make([]byte, len(d))
+			dup = netsim.GetBuf(len(d))
 			copy(dup, d)
 		}
 		netsim.RewriteDst(dup, target)
 		_ = p.cfg.Net.Inject(dup)
 	}
-	p.st.rewriteNS.Add(uint64(time.Since(t1)))
-	p.st.requests.Add(1)
+	if len(targets) == 0 {
+		netsim.FreeBuf(d)
+	}
 }
 
 // rpc returns a client for addr, creating one on first use.

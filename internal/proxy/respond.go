@@ -12,26 +12,27 @@ import (
 
 // handleResponse pairs a server reply with its pending record, harvests
 // and patches attributes, restores the virtual server as the source, and
-// forwards the reply to the client.
-func (p *Proxy) handleResponse(d []byte, key pendKey) {
+// forwards the reply to the client. It runs inline on the sender's
+// goroutine; only responses with an orchestration hook (which issues
+// blocking RPCs) are finished on a helper goroutine.
+func (p *Proxy) handleResponse(d []byte, key pendKey) netsim.Verdict {
 	t0 := time.Now()
 	h, err := netsim.Parse(d)
 	if err != nil {
-		p.st.dropped.Add(1)
-		return
+		return p.consumeDrop(d)
 	}
 	rep, err := oncrpc.ParseReply(netsim.Payload(d))
 	if err != nil {
-		p.st.dropped.Add(1)
-		return
+		return p.consumeDrop(d)
 	}
-	p.mu.Lock()
-	pd := p.pend[key]
+	s := p.shardFor(key)
+	s.mu.Lock()
+	pd := s.pend[key]
 	if pd == nil {
-		p.mu.Unlock()
-		// Soft state was lost (or a duplicate reply); drop. The client
-		// retransmits and the server's duplicate cache replays.
-		return
+		s.mu.Unlock()
+		// Soft state was lost (or a duplicate reply); let it through
+		// untouched. The client's RPC layer matches by xid, or ignores.
+		return netsim.Pass
 	}
 	if len(pd.targets) > 1 {
 		// Mirrored fan-out: count each replica once, even when
@@ -40,8 +41,9 @@ func (p *Proxy) handleResponse(d []byte, key pendKey) {
 			pd.replied = make(map[netsim.Addr]bool, len(pd.targets))
 		}
 		if pd.replied[h.Src] {
-			p.mu.Unlock()
-			return
+			s.mu.Unlock()
+			netsim.FreeBuf(d)
+			return netsim.Consumed
 		}
 		pd.replied[h.Src] = true
 	}
@@ -52,61 +54,77 @@ func (p *Proxy) handleResponse(d []byte, key pendKey) {
 		if rep.Accept == oncrpc.AcceptSuccess && replyStatus(pd.proc, rep.Body) != nfsproto.OK && pd.errReply == nil {
 			pd.errReply = append([]byte(nil), rep.Body...)
 		}
-		p.mu.Unlock()
+		s.mu.Unlock()
 		p.st.softStateNS.Add(uint64(time.Since(t0)))
-		return
+		netsim.FreeBuf(d)
+		return netsim.Consumed
 	}
-	delete(p.pend, key)
-	errReply := pd.errReply
-	p.mu.Unlock()
+	delete(s.pend, key)
+	s.mu.Unlock()
+	// The record is now exclusively owned by this goroutine: lookups and
+	// deletion are serialized by the shard lock.
 	p.st.softStateNS.Add(uint64(time.Since(t0)))
 
-	if errReply != nil {
-		rep.Body = errReply
+	if pd.errReply != nil {
+		rep.Body = pd.errReply
 	}
 
 	if rep.Accept == oncrpc.AcceptSuccess && pd.onOK != nil &&
 		replyStatus(pd.proc, rep.Body) == nfsproto.OK {
-		pd.onOK()
+		// The hook blocks on µproxy-originated RPCs; run it (and the
+		// forwarding that must follow it) off the sender's goroutine.
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			pd.onOK()
+			p.finishResponse(d, key, pd, rep)
+		}()
+		return netsim.Consumed
 	}
+	p.finishResponse(d, key, pd, rep)
+	return netsim.Consumed
+}
 
+// finishResponse dispatches a fully-paired reply to its per-procedure
+// handler, then recycles the pending record.
+func (p *Proxy) finishResponse(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Reply) {
 	if pd.prog != nfsproto.Program || rep.Accept != oncrpc.AcceptSuccess {
-		p.passThrough(d, key)
-		return
-	}
-
-	switch pd.proc {
-	case nfsproto.ProcRead, nfsproto.ProcWrite:
-		p.respondIO(d, key, pd, rep)
-	case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir, nfsproto.ProcSymlink:
-		p.respondChild(d, key, pd, rep)
-	case nfsproto.ProcGetAttr:
-		p.respondGetAttr(d, key, pd, rep)
-	case nfsproto.ProcLink:
-		// Harvest the updated link count: the remove orchestration's
-		// fast path depends on the cache tracking links it routed.
-		var res nfsproto.LinkRes
-		if err := res.Decode(xdr.NewDecoder(rep.Body)); err == nil && res.Status == nfsproto.OK {
-			if res.Attr.Present {
-				p.attrs.observe(pd.info.FH, res.Attr.Attr)
+		p.passThrough(d)
+	} else {
+		switch pd.proc {
+		case nfsproto.ProcRead, nfsproto.ProcWrite:
+			p.respondIO(d, key, pd, rep)
+		case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir, nfsproto.ProcSymlink:
+			p.respondChild(d, key, pd, rep)
+		case nfsproto.ProcGetAttr:
+			p.respondGetAttr(d, key, pd, rep)
+		case nfsproto.ProcLink:
+			// Harvest the updated link count: the remove orchestration's
+			// fast path depends on the cache tracking links it routed.
+			var res nfsproto.LinkRes
+			if err := res.Decode(xdr.NewDecoder(rep.Body)); err == nil && res.Status == nfsproto.OK {
+				if res.Attr.Present {
+					p.observeAttr(pd.info.FH, res.Attr.Attr)
+				}
+				if pd.info.HasName2 {
+					p.names.put(pd.info.FH2, pd.info.Name2, pd.info.FH)
+				}
 			}
+			p.passThrough(d)
+		case nfsproto.ProcRename:
+			p.names.drop(pd.info.FH, pd.info.Name)
 			if pd.info.HasName2 {
-				p.names.put(pd.info.FH2, pd.info.Name2, pd.info.FH)
+				p.names.drop(pd.info.FH2, pd.info.Name2)
 			}
+			p.passThrough(d)
+		case nfsproto.ProcRmdir:
+			p.names.drop(pd.info.FH, pd.info.Name)
+			p.passThrough(d)
+		default:
+			p.passThrough(d)
 		}
-		p.passThrough(d, key)
-	case nfsproto.ProcRename:
-		p.names.drop(pd.info.FH, pd.info.Name)
-		if pd.info.HasName2 {
-			p.names.drop(pd.info.FH2, pd.info.Name2)
-		}
-		p.passThrough(d, key)
-	case nfsproto.ProcRmdir:
-		p.names.drop(pd.info.FH, pd.info.Name)
-		p.passThrough(d, key)
-	default:
-		p.passThrough(d, key)
 	}
+	putPending(pd)
 }
 
 // replyStatus peeks at the leading NFS status of a reply body.
@@ -124,7 +142,8 @@ func replyStatus(proc nfsproto.Proc, body []byte) nfsproto.Status {
 
 // passThrough restores the virtual server address as the packet source
 // with an incremental checksum fix, and delivers it to the client.
-func (p *Proxy) passThrough(d []byte, key pendKey) {
+// Ownership of d transfers to the network.
+func (p *Proxy) passThrough(d []byte) {
 	t0 := time.Now()
 	netsim.RewriteSrc(d, p.cfg.Virtual)
 	p.st.rewriteNS.Add(uint64(time.Since(t0)))
@@ -135,7 +154,8 @@ func (p *Proxy) passThrough(d []byte, key pendKey) {
 // respondIO patches a complete attribute set into a storage-node or
 // small-file-server reply, which carries none, and updates the attribute
 // cache to reflect the I/O (§4.1). The reply is re-encoded because the
-// optional attribute block changes the body length.
+// optional attribute block changes the body length; the original reply
+// datagram goes back to the buffer pool.
 func (p *Proxy) respondIO(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Reply) {
 	t0 := time.Now()
 	fh := pd.info.FH
@@ -147,10 +167,11 @@ func (p *Proxy) respondIO(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Repl
 		var res nfsproto.ReadRes
 		if err := res.Decode(xdr.NewDecoder(rep.Body)); err != nil {
 			p.st.dropped.Add(1)
+			netsim.FreeBuf(d)
 			return
 		}
 		if res.Status == nfsproto.OK {
-			p.attrs.update(fh, func(a *attr.Attr) { a.Atime = now })
+			p.updateAttr(fh, func(a *attr.Attr) { a.Atime = now })
 		}
 		at, ok := p.attrs.get(fh)
 		if !ok && res.Status == nfsproto.OK && res.EOF {
@@ -162,7 +183,7 @@ func (p *Proxy) respondIO(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Repl
 			gaInfo := nfsproto.RequestInfo{Proc: nfsproto.ProcGetAttr, FH: fh}
 			if addr, err := p.cfg.Names.AddrFor(&gaInfo); err == nil {
 				if err := p.nfsCall(addr, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: fh}, &ga); err == nil && ga.Status == nfsproto.OK {
-					p.attrs.observe(fh, ga.Attr)
+					p.observeAttr(fh, ga.Attr)
 					at, ok = p.attrs.get(fh)
 				}
 			}
@@ -181,11 +202,12 @@ func (p *Proxy) respondIO(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Repl
 		var res nfsproto.WriteRes
 		if err := res.Decode(xdr.NewDecoder(rep.Body)); err != nil {
 			p.st.dropped.Add(1)
+			netsim.FreeBuf(d)
 			return
 		}
 		if res.Status == nfsproto.OK {
 			end := pd.info.Offset + uint64(res.Count)
-			p.attrs.update(fh, func(a *attr.Attr) {
+			p.updateAttr(fh, func(a *attr.Attr) {
 				if end > a.Size {
 					a.Size = end
 					a.Used = (end + 8191) &^ 8191
@@ -200,21 +222,12 @@ func (p *Proxy) respondIO(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Repl
 		body = res.Encode
 
 	default:
-		p.passThrough(d, key)
+		p.passThrough(d)
 		return
 	}
 	p.st.softStateNS.Add(uint64(time.Since(t0)))
-
-	t1 := time.Now()
-	payload := oncrpc.EncodeReply(key.xid, oncrpc.AcceptSuccess, body)
-	out, err := netsim.Build(p.cfg.Virtual, key.client, payload)
-	p.st.rewriteNS.Add(uint64(time.Since(t1)))
-	if err != nil {
-		p.st.dropped.Add(1)
-		return
-	}
-	p.st.responses.Add(1)
-	_ = p.cfg.Net.Inject(out)
+	p.respondEncoded(key, body)
+	netsim.FreeBuf(d)
 }
 
 // respondChild harvests the (name → handle) binding and child attributes
@@ -228,27 +241,29 @@ func (p *Proxy) respondChild(d []byte, key pendKey, pd *pendingReq, rep oncrpc.R
 	var res nfsproto.LookupRes
 	if err := res.Decode(xdr.NewDecoder(rep.Body)); err != nil {
 		p.st.dropped.Add(1)
+		netsim.FreeBuf(d)
 		return
 	}
 	if res.Status != nfsproto.OK {
 		p.st.softStateNS.Add(uint64(time.Since(t0)))
-		p.passThrough(d, key)
+		p.passThrough(d)
 		return
 	}
 	if pd.info.HasName {
 		p.names.put(pd.info.FH, pd.info.Name, res.FH)
 	}
 	if res.Attr.Present {
-		p.attrs.observe(res.FH, res.Attr.Attr)
+		p.observeAttr(res.FH, res.Attr.Attr)
 	}
 	if res.DirAttr.Present {
-		p.attrs.observe(pd.info.FH, res.DirAttr.Attr)
+		p.observeAttr(pd.info.FH, res.DirAttr.Attr)
 	}
 	if at, ok := p.attrs.get(res.FH); ok {
 		res.Attr = nfsproto.Some(at)
 	}
 	p.st.softStateNS.Add(uint64(time.Since(t0)))
 	p.respondEncoded(key, res.Encode)
+	netsim.FreeBuf(d)
 }
 
 // respondGetAttr folds a GETATTR reply into the attribute cache, then
@@ -259,19 +274,21 @@ func (p *Proxy) respondGetAttr(d []byte, key pendKey, pd *pendingReq, rep oncrpc
 	var res nfsproto.GetAttrRes
 	if err := res.Decode(xdr.NewDecoder(rep.Body)); err != nil {
 		p.st.dropped.Add(1)
+		netsim.FreeBuf(d)
 		return
 	}
 	if res.Status != nfsproto.OK {
 		p.st.softStateNS.Add(uint64(time.Since(t0)))
-		p.passThrough(d, key)
+		p.passThrough(d)
 		return
 	}
-	p.attrs.observe(pd.info.FH, res.Attr)
+	p.observeAttr(pd.info.FH, res.Attr)
 	if at, ok := p.attrs.get(pd.info.FH); ok {
 		res.Attr = at
 	}
 	p.st.softStateNS.Add(uint64(time.Since(t0)))
 	p.respondEncoded(key, res.Encode)
+	netsim.FreeBuf(d)
 }
 
 // respondEncoded builds a fresh reply datagram from the virtual server to

@@ -61,3 +61,45 @@ func (c *stageCounters) snapshot() StageStats {
 func (s StageStats) TotalNS() uint64 {
 	return s.InterceptNS + s.DecodeNS + s.RewriteNS + s.SoftStateNS
 }
+
+// ShardStat is the occupancy and hit accounting of one soft-state shard:
+// its slice of the pending-request table, the attribute cache, and the
+// name cache. Skew across shards indicates a hot spot (a client or file
+// population hashing unevenly); uniformly high occupancy indicates the
+// caches are undersized.
+type ShardStat struct {
+	Pending     int    // in-flight request records
+	AttrEntries int    // resident attribute-cache entries
+	AttrHits    uint64 // attribute-cache hits since start
+	AttrMisses  uint64 // attribute-cache misses since start
+	NameEntries int    // resident name-cache entries
+	NameHits    uint64 // name-cache hits since start
+	NameMisses  uint64 // name-cache misses since start
+}
+
+// ShardStats snapshots every soft-state shard. The slice is indexed by
+// shard number.
+func (p *Proxy) ShardStats() []ShardStat {
+	out := make([]ShardStat, numShards)
+	for i := range out {
+		s := &p.shards[i]
+		s.mu.Lock()
+		out[i].Pending = len(s.pend)
+		s.mu.Unlock()
+
+		as := &p.attrs.shards[i]
+		as.mu.Lock()
+		out[i].AttrEntries = len(as.entries)
+		as.mu.Unlock()
+		out[i].AttrHits = as.hits.Load()
+		out[i].AttrMisses = as.misses.Load()
+
+		ns := &p.names.shards[i]
+		ns.mu.Lock()
+		out[i].NameEntries = len(ns.entries)
+		ns.mu.Unlock()
+		out[i].NameHits = ns.hits.Load()
+		out[i].NameMisses = ns.misses.Load()
+	}
+	return out
+}

@@ -26,9 +26,19 @@ import (
 // of rebalancing (§3.3.1); multiple logical sites may map to one physical
 // server. Tables are soft state in the µproxy: the mapping is determined
 // externally, and Swap installs a new binding without disturbing readers.
+//
+// Lookups are routing hot path — every datagram through a µproxy resolves
+// at least one table — so the binding is published as an immutable
+// snapshot behind an atomic pointer: readers never take a lock and never
+// contend with each other; Swap installs a fresh snapshot.
 type Table struct {
-	mu      sync.RWMutex
-	sites   []netsim.Addr // logical -> physical
+	mu    sync.Mutex // serializes writers (Swap)
+	state atomic.Pointer[tableState]
+}
+
+// tableState is one immutable logical→physical binding generation.
+type tableState struct {
+	sites   []netsim.Addr // logical -> physical; never mutated once stored
 	version uint64
 }
 
@@ -43,79 +53,77 @@ func NewTable(logical int, physical []netsim.Addr) *Table {
 		logical = len(physical)
 	}
 	t := &Table{}
-	t.bind(logical, physical)
+	t.bind(logical, physical, 1)
 	return t
 }
 
-func (t *Table) bind(logical int, physical []netsim.Addr) {
-	if len(physical) == 0 {
-		t.sites = nil
-		t.version++
-		return
+func (t *Table) bind(logical int, physical []netsim.Addr, version uint64) {
+	st := &tableState{version: version}
+	if len(physical) > 0 {
+		sites := make([]netsim.Addr, logical)
+		for i := range sites {
+			sites[i] = physical[i%len(physical)]
+		}
+		st.sites = sites
 	}
-	sites := make([]netsim.Addr, logical)
-	for i := range sites {
-		sites[i] = physical[i%len(physical)]
-	}
-	t.sites = sites
-	t.version++
+	t.state.Store(st)
 }
 
 // Swap rebinds the table to a new physical server set, preserving the
 // number of logical sites. This is the reconfiguration step of §3.3.1:
 // after adding or removing a server, only the logical→physical binding
-// changes; request keys keep hashing to the same logical sites.
+// changes; request keys keep hashing to the same logical sites. In-flight
+// lookups keep reading the snapshot they loaded.
 func (t *Table) Swap(physical []netsim.Addr) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.bind(len(t.sites), physical)
+	cur := t.state.Load()
+	t.bind(len(cur.sites), physical, cur.version+1)
 }
 
 // NumLogical returns the number of logical sites.
 func (t *Table) NumLogical() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.sites)
+	return len(t.state.Load().sites)
 }
 
 // Version returns the table generation, incremented by every Swap.
 func (t *Table) Version() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.version
+	return t.state.Load().version
 }
 
 // Site returns the logical site for a 64-bit key.
 func (t *Table) Site(key uint64) uint32 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if len(t.sites) == 0 {
+	sites := t.state.Load().sites
+	if len(sites) == 0 {
 		return 0
 	}
-	return uint32(key % uint64(len(t.sites)))
+	return uint32(key % uint64(len(sites)))
 }
 
 // Lookup returns the physical address bound to a logical site.
 func (t *Table) Lookup(site uint32) (netsim.Addr, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if len(t.sites) == 0 {
+	sites := t.state.Load().sites
+	if len(sites) == 0 {
 		return netsim.Addr{}, ErrEmptyTable
 	}
-	return t.sites[int(site)%len(t.sites)], nil
+	return sites[int(site)%len(sites)], nil
 }
 
-// Route maps a key to a physical address in one step.
+// Route maps a key to a physical address in one step (one snapshot load:
+// the site choice and the address resolve against the same generation).
 func (t *Table) Route(key uint64) (netsim.Addr, error) {
-	return t.Lookup(t.Site(key))
+	sites := t.state.Load().sites
+	if len(sites) == 0 {
+		return netsim.Addr{}, ErrEmptyTable
+	}
+	return sites[int(uint32(key%uint64(len(sites))))%len(sites)], nil
 }
 
 // Physical returns a copy of the current logical→physical binding.
 func (t *Table) Physical() []netsim.Addr {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]netsim.Addr, len(t.sites))
-	copy(out, t.sites)
+	sites := t.state.Load().sites
+	out := make([]netsim.Addr, len(sites))
+	copy(out, sites)
 	return out
 }
 

@@ -130,7 +130,9 @@ func (g *Gateway) pumpOut(p *peer) {
 		if err != nil {
 			return
 		}
-		if _, err := g.conn.WriteToUDP(netsim.Payload(d), p.remote); err != nil {
+		_, err = g.conn.WriteToUDP(netsim.Payload(d), p.remote)
+		netsim.FreeBuf(d)
+		if err != nil {
 			return
 		}
 	}
