@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-proxy
+.PHONY: check vet build test race bench bench-proxy fuzz
 
 # The full gate: everything a change must pass before it lands.
 check: vet build race bench-proxy
@@ -24,3 +24,11 @@ bench:
 # The contended data-path benchmarks (compare against BENCH_proxy.json).
 bench-proxy:
 	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem -benchtime 1s -cpu 1,4 .
+
+# Fixed-budget run of every fuzz target (wire parsers and the WAL scanner).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzScan -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oncrpc/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/nfsproto/ -run '^$$' -fuzz FuzzParseCall -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netsim/ -run '^$$' -fuzz FuzzParseDatagram -fuzztime $(FUZZTIME)

@@ -1,0 +1,334 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"slice/internal/client"
+	"slice/internal/dirsrv"
+	"slice/internal/ensemble"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+	"slice/internal/route"
+	"slice/internal/storage"
+)
+
+// newEnsemble builds a full deployment tuned for fault injection: a
+// short coordinator probe interval so intention recovery fires within
+// the test budget, and patient clients whose retry window rides out a
+// crash-to-restart gap.
+func newEnsemble(t *testing.T, mutate func(*ensemble.Config)) *ensemble.Ensemble {
+	t.Helper()
+	cfg := ensemble.Config{
+		StorageNodes:     2,
+		DirServers:       2,
+		SmallFileServers: 1,
+		Coordinator:      true,
+		NameKind:         route.MkdirSwitching,
+		MkdirP:           0.5,
+		CoordProbeAfter:  250 * time.Millisecond,
+		ClientRPC:        oncrpc.ClientConfig{Timeout: 25 * time.Millisecond, Retries: 9},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := ensemble.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func mustFsckClean(t *testing.T, e *ensemble.Ensemble) {
+	t.Helper()
+	if problems := dirsrv.Check(e.Dirs, e.Root); len(problems) != 0 {
+		t.Fatalf("fsck found %d problems after recovery: %v", len(problems), problems)
+	}
+}
+
+// TestCoordinatorCrashMidRemoveLeavesNoOrphans: a storage site is
+// unreachable while a REMOVE's data is being cleared, so the µproxy
+// leaves the intention pending; then the coordinator itself crashes.
+// Restarting the coordinator from its journal must finish the remove on
+// every data site — no orphaned blocks — and the acknowledged namespace
+// update must stand.
+func TestCoordinatorCrashMidRemoveLeavesNoOrphans(t *testing.T) {
+	e := newEnsemble(t, nil)
+	ch := e.Chaos()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fh, _, err := c.Create(c.Root(), "victim", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("v"), 200*1024) // spans small-file + both storage nodes
+	if err := c.WriteFile(fh, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Storage node 0 drops off the fabric; the remove's data clearing
+	// cannot reach it. The client is still acknowledged quickly — the
+	// first transmission's orchestration chain withholds its reply while
+	// it grinds against the dead site, but the retransmission is answered
+	// from the directory server's duplicate-request cache — and the
+	// durable intention stands in for the unreachable site.
+	ch.PartitionStorage(0)
+	retransBefore := c.Retransmissions()
+	if err := Retry(15*time.Second, func() error { return c.Remove(c.Root(), "victim") }); err != nil {
+		t.Fatalf("remove during partition: %v", err)
+	}
+	if c.Retransmissions() == retransBefore {
+		t.Fatal("remove acknowledged on the first transmission (fault window not exercised)")
+	}
+	if !WaitFor(5*time.Second, func() bool { return e.Coord.PendingIntentions() >= 1 }) {
+		t.Fatalf("intention completed despite unreachable site (pending=%d)", e.Coord.PendingIntentions())
+	}
+
+	// Now the coordinator dies too. Restart it from the durable prefix
+	// of its journal after the partition heals: recovery replays the
+	// intention and finishes the remove everywhere.
+	ch.CrashCoordinator()
+	ch.HealStorage(0)
+	co, err := ch.RestartCoordinator(3050)
+	if err != nil {
+		t.Fatalf("coordinator restart: %v", err)
+	}
+
+	if !WaitFor(10*time.Second, func() bool { return co.PendingIntentions() == 0 }) {
+		t.Fatalf("intentions still pending after recovery: %d", co.PendingIntentions())
+	}
+	if co.Stats().Finished < 1 {
+		t.Fatal("restarted coordinator finished no operations")
+	}
+	obj := storage.ObjectOf(fh)
+	for i, sn := range e.Storage {
+		store := sn.Store()
+		if !WaitFor(5*time.Second, func() bool { _, ok := store.Size(obj); return !ok }) {
+			t.Fatalf("storage node %d still holds blocks of the removed file (orphan)", i)
+		}
+	}
+	if _, ok := e.Small[0].Store().Size(fh); ok {
+		t.Fatal("small-file server still holds data of the removed file (orphan)")
+	}
+	// The acknowledged remove stands, and the volume stays consistent
+	// and writable.
+	err = Retry(5*time.Second, func() error {
+		_, _, err := c.Lookup(c.Root(), "victim")
+		return err
+	})
+	if nfsproto.StatusOf(err) != nfsproto.ErrNoEnt {
+		t.Fatalf("removed file reappeared: %v", err)
+	}
+	if _, _, err := c.Create(c.Root(), "after", 0o644, true); err != nil {
+		t.Fatalf("create after recovery: %v", err)
+	}
+	mustFsckClean(t, e)
+}
+
+// TestStoragePartitionMidCommitNoLostAckedWrites: a storage node is
+// partitioned across several RPC timeouts while the µproxy absorbs a
+// COMMIT. The client's commit must still be acknowledged in bounded
+// time — the durable intention stands in for the unreachable site — and
+// once the partition heals, the coordinator's probe finishes the commit,
+// so the acknowledged bytes survive a storage crash that discards
+// uncommitted data.
+func TestStoragePartitionMidCommitNoLostAckedWrites(t *testing.T) {
+	e := newEnsemble(t, nil)
+	ch := e.Chaos()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fh, _, err := c.Create(c.Root(), "bulk", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256*1024)
+	for i := range data {
+		data[i] = byte(i >> 9)
+	}
+	if _, err := c.Write(fh, 0, data, false); err != nil { // unstable: durability rides on COMMIT
+		t.Fatal(err)
+	}
+
+	ch.PartitionStorage(1)
+	retransBefore := c.Retransmissions()
+	t0 := time.Now()
+	if _, err := c.Commit(fh); err != nil {
+		t.Fatalf("commit during partition not acknowledged: %v", err)
+	}
+	if lat := time.Since(t0); lat > 8*time.Second {
+		t.Fatalf("commit latency %v exceeds bound", lat)
+	}
+	if c.Retransmissions() == retransBefore {
+		t.Fatal("commit answered before the partition cost any timeouts (fault not exercised)")
+	}
+	if n := e.Coord.PendingIntentions(); n < 1 {
+		t.Fatalf("commit intention cleared despite unreachable site (pending=%d)", n)
+	}
+
+	// Heal; the coordinator's probe must finish the commit on its own.
+	ch.HealStorage(1)
+	if !WaitFor(5*time.Second, func() bool {
+		return e.Coord.PendingIntentions() == 0 && e.Coord.Stats().Finished >= 1
+	}) {
+		t.Fatalf("coordinator never finished the interrupted commit (pending=%d finished=%d)",
+			e.Coord.PendingIntentions(), e.Coord.Stats().Finished)
+	}
+
+	// The crash test: node 1 loses everything not made durable. The
+	// acknowledged commit means the file must read back intact.
+	e.Storage[1].Store().Crash()
+	got := make([]byte, len(data))
+	err = Retry(10*time.Second, func() error {
+		_, _, err := c.Read(fh, 0, got)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("read after storage crash: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("acknowledged committed data lost in storage crash")
+	}
+	mustFsckClean(t, e)
+}
+
+// TestDirServerRestartFromWALMidUntar: a directory server crashes in the
+// middle of an untar under mkdir switching and is rebuilt purely from
+// its write-ahead log at a brand-new address. The shared table swap must
+// redirect the in-flight retransmissions (the µproxy re-resolves
+// recorded paths on a route-version change), the workload must complete,
+// and no acknowledged entry may be lost.
+func TestDirServerRestartFromWALMidUntar(t *testing.T) {
+	e := newEnsemble(t, nil)
+	ch := e.Chaos()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	crashAt := make(chan struct{})
+	var once bool
+	done := make(chan struct{})
+	var acked []Entry
+	var untarErr error
+	go func() {
+		defer close(done)
+		acked, untarErr = Untar(c, c.Root(), UntarConfig{
+			Dirs: 16, Files: 48,
+			OpBudget: 15 * time.Second,
+			OnEntry: func(n int) {
+				if n == 12 && !once {
+					once = true
+					close(crashAt)
+				}
+			},
+		})
+	}()
+
+	<-crashAt
+	ch.CrashDir(1)
+	time.Sleep(50 * time.Millisecond) // let requests to the dead site time out mid-flight
+	if _, err := ch.RestartDir(1, nil, 70); err != nil {
+		t.Fatalf("dir restart from WAL: %v", err)
+	}
+
+	<-done
+	if untarErr != nil {
+		t.Fatalf("untar did not survive the dir-server restart: %v", untarErr)
+	}
+	if lost := VerifyAcked(c, 10*time.Second, acked); len(lost) != 0 {
+		t.Fatalf("%d acknowledged entries lost across restart: %v", len(lost), lost)
+	}
+	if c.Retransmissions() == 0 {
+		t.Fatal("workload saw no retransmissions (crash window not exercised)")
+	}
+	mustFsckClean(t, e)
+}
+
+// TestCoordinatorRecoveryFinishesExactlyOnce is the end-to-end version
+// of the coordinator crash-recovery contract: an intention is durable
+// but its storage operations never ran (the site was unreachable and the
+// client gave up after one transmission, so no duplicate orchestration
+// chains exist). The restarted coordinator must finish the operation
+// exactly once — before serving — and leave nothing pending.
+func TestCoordinatorRecoveryFinishesExactlyOnce(t *testing.T) {
+	e := newEnsemble(t, nil)
+	ch := e.Chaos()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fh, _, err := c.Create(c.Root(), "gone", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile(fh, bytes.Repeat([]byte("g"), 150*1024)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A one-shot client: a single transmission triggers exactly one
+	// orchestration chain, keeping the storage op count deterministic.
+	oneShot, err := client.New(client.Config{
+		Net: e.Net, Host: 231, Server: e.Virtual,
+		RPC: oncrpc.ClientConfig{Timeout: 50 * time.Millisecond, Retries: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oneShot.Close()
+	if err := oneShot.Mount(); err != nil {
+		t.Fatal(err)
+	}
+
+	node0 := e.Storage[0].Store()
+	node1 := e.Storage[1].Store()
+	removes0, removes1 := node0.Stats().Removes, node1.Stats().Removes
+
+	ch.PartitionStorage(0)
+	_ = oneShot.Remove(c.Root(), "gone") // times out client-side; the chain runs on
+	if !WaitFor(5*time.Second, func() bool { return e.Coord.PendingIntentions() >= 1 }) {
+		t.Fatal("remove intention never became durable")
+	}
+	// The chain visits node 1 last; once its remove lands, the chain is
+	// done and nothing else will touch node 0.
+	if !WaitFor(10*time.Second, func() bool { return node1.Stats().Removes == removes1+1 }) {
+		t.Fatal("orchestration chain never reached the live storage node")
+	}
+	if got := node0.Stats().Removes; got != removes0 {
+		t.Fatalf("partitioned node saw %d removes mid-chain", got-removes0)
+	}
+
+	ch.CrashCoordinator()
+	ch.HealStorage(0)
+	co, err := ch.RestartCoordinator(3051)
+	if err != nil {
+		t.Fatalf("coordinator restart: %v", err)
+	}
+	// Recovery completes before the new port serves: the pending remove
+	// is already finished when Restart returns.
+	if n := co.PendingIntentions(); n != 0 {
+		t.Fatalf("%d intentions pending after restart", n)
+	}
+	if got := co.Stats().Finished; got != 1 {
+		t.Fatalf("recovery finished %d operations, want exactly 1", got)
+	}
+	if got := node0.Stats().Removes; got != removes0+1 {
+		t.Fatalf("node 0 removed %d times, want exactly once", got-removes0)
+	}
+	if _, ok := node0.Size(storage.ObjectOf(fh)); ok {
+		t.Fatal("recovered remove left blocks on the partitioned node (orphan)")
+	}
+	mustFsckClean(t, e)
+}

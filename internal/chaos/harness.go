@@ -1,0 +1,160 @@
+// Package chaos exercises Slice's failure model end to end: components
+// are crashed, partitioned, and restarted from their write-ahead logs
+// while clients keep issuing work, and the tests assert the paper's
+// recovery guarantees — acknowledged updates survive, no data blocks are
+// orphaned, and clients ride out every fault through ordinary end-to-end
+// retransmission (§2.1, §2.3, §4.2).
+//
+// This file is the workload harness the chaos tests share; the fault
+// scenarios themselves live in the test files.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"slice/internal/client"
+	"slice/internal/fhandle"
+	"slice/internal/nfsproto"
+	"slice/internal/oncrpc"
+)
+
+// Retry runs op until it succeeds, fails with a permanent (non-timeout)
+// error, or the budget expires. Timeouts are the signature of a crashed
+// or partitioned component, and retrying through them is exactly the
+// end-to-end recovery the architecture prescribes for clients.
+func Retry(budget time.Duration, op func() error) error {
+	deadline := time.Now().Add(budget)
+	for {
+		err := op()
+		if err == nil || !errors.Is(err, oncrpc.ErrTimedOut) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+	}
+}
+
+// WaitFor polls cond every few milliseconds until it holds or the budget
+// expires, reporting whether it held.
+func WaitFor(budget time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(budget)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Entry is one acknowledged namespace update made by the workload.
+type Entry struct {
+	Parent fhandle.Handle
+	Name   string
+	FH     fhandle.Handle
+	Dir    bool
+}
+
+// UntarConfig shapes the fault-tolerant untar workload.
+type UntarConfig struct {
+	Dirs  int // directories created first, nested under each other
+	Files int // files spread round-robin over the directories
+	// OpBudget bounds the retries of one operation across injected
+	// faults; it must exceed the longest crash-to-restart window.
+	OpBudget time.Duration
+	// OnEntry, when set, observes each acknowledged entry (1-based
+	// count); chaos tests use it to trigger faults mid-workload.
+	OnEntry func(n int)
+}
+
+// Untar unpacks a synthetic tree under root, tolerating the transient
+// failures chaos injects: timed-out operations are retried, and a
+// retried create that finds its entry already present (the first attempt
+// landed; only its acknowledgement was lost) resolves the existing entry
+// and counts it as acknowledged. It returns every acknowledged entry so
+// the caller can assert none were lost.
+func Untar(c *client.Client, root fhandle.Handle, cfg UntarConfig) ([]Entry, error) {
+	if cfg.OpBudget <= 0 {
+		cfg.OpBudget = 10 * time.Second
+	}
+	acked := make([]Entry, 0, cfg.Dirs+cfg.Files)
+	note := func(e Entry) {
+		acked = append(acked, e)
+		if cfg.OnEntry != nil {
+			cfg.OnEntry(len(acked))
+		}
+	}
+
+	parents := []fhandle.Handle{root}
+	for i := 0; i < cfg.Dirs; i++ {
+		parent := parents[i%len(parents)]
+		name := fmt.Sprintf("d%03d", i)
+		fh, err := ensure(c, cfg.OpBudget, parent, name, true)
+		if err != nil {
+			return acked, fmt.Errorf("chaos untar: mkdir %s: %w", name, err)
+		}
+		parents = append(parents, fh)
+		note(Entry{Parent: parent, Name: name, FH: fh, Dir: true})
+	}
+	for i := 0; i < cfg.Files; i++ {
+		parent := parents[1+i%(len(parents)-1)]
+		name := fmt.Sprintf("f%04d.c", i)
+		fh, err := ensure(c, cfg.OpBudget, parent, name, false)
+		if err != nil {
+			return acked, fmt.Errorf("chaos untar: create %s: %w", name, err)
+		}
+		note(Entry{Parent: parent, Name: name, FH: fh})
+	}
+	return acked, nil
+}
+
+// ensure creates (dir or file) the named entry, resolving it instead if
+// a lost acknowledgement made the retry collide with its own earlier
+// success.
+func ensure(c *client.Client, budget time.Duration, parent fhandle.Handle, name string, dir bool) (fhandle.Handle, error) {
+	var fh fhandle.Handle
+	err := Retry(budget, func() error {
+		var h fhandle.Handle
+		var err error
+		if dir {
+			h, _, err = c.Mkdir(parent, name, 0o755)
+		} else {
+			h, _, err = c.Create(parent, name, 0o644, true)
+		}
+		if err != nil && nfsproto.StatusOf(err) == nfsproto.ErrExist {
+			h, _, err = c.Lookup(parent, name)
+		}
+		if err == nil {
+			fh = h
+		}
+		return err
+	})
+	return fh, err
+}
+
+// VerifyAcked resolves every acknowledged entry through the live stack
+// and returns the ones that no longer exist or changed identity — the
+// lost-update check the chaos scenarios assert empty.
+func VerifyAcked(c *client.Client, budget time.Duration, acked []Entry) []string {
+	var lost []string
+	for _, e := range acked {
+		var got fhandle.Handle
+		err := Retry(budget, func() error {
+			h, _, err := c.Lookup(e.Parent, e.Name)
+			got = h
+			return err
+		})
+		switch {
+		case err != nil:
+			lost = append(lost, fmt.Sprintf("%s: %v", e.Name, err))
+		case got.Ident() != e.FH.Ident():
+			lost = append(lost, fmt.Sprintf("%s: identity changed", e.Name))
+		}
+	}
+	return lost
+}

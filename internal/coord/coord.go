@@ -141,10 +141,32 @@ type Coordinator struct {
 
 // New starts a coordinator serving on port.
 func New(port *netsim.Port, cfg Config) *Coordinator {
+	c := newCoordinator(cfg)
+	c.start(port)
+	return c
+}
+
+// Restart builds a coordinator from its intentions log: state is rebuilt
+// and in-flight operations of the failed incarnation are finished BEFORE
+// the server begins accepting calls on port, so no new intention can race
+// recovery or collide with a recovered id. This is the uniform
+// crash-restart path the chaos harness uses (§4.2: a restarted
+// coordinator scans its log and completes interrupted operations).
+func Restart(port *netsim.Port, cfg Config, log *wal.Log) (*Coordinator, error) {
+	c := newCoordinator(cfg)
+	if err := c.recoverState(log); err != nil {
+		return nil, err
+	}
+	c.finishRecovered()
+	c.start(port)
+	return c, nil
+}
+
+func newCoordinator(cfg Config) *Coordinator {
 	if cfg.ProbeAfter <= 0 {
 		cfg.ProbeAfter = 2 * time.Second
 	}
-	c := &Coordinator{
+	return &Coordinator{
 		cfg:     cfg,
 		nextID:  1,
 		pending: make(map[uint64]*intent),
@@ -152,10 +174,12 @@ func New(port *netsim.Port, cfg Config) *Coordinator {
 		clients: make(map[netsim.Addr]*oncrpc.Client),
 		stopCh:  make(chan struct{}),
 	}
+}
+
+func (c *Coordinator) start(port *netsim.Port) {
 	c.srv = oncrpc.NewServer(port, oncrpc.HandlerFunc(c.serve))
 	c.wg.Add(1)
 	go c.probeLoop()
-	return c
 }
 
 // Addr returns the coordinator's address.
@@ -203,8 +227,12 @@ func (c *Coordinator) probeLoop() {
 	}
 }
 
-// CheckIntentions finishes every intention older than ProbeAfter. It is
-// exported so tests can drive the probe deterministically.
+// CheckIntentions finishes every intention older than ProbeAfter,
+// returning how many it completed. An intention whose operation could
+// not be confirmed on every site stays pending — completing it anyway
+// would silently orphan the unreachable site's blocks — and the next
+// probe retries it. It is exported so tests can drive the probe
+// deterministically.
 func (c *Coordinator) CheckIntentions(now time.Time) int {
 	c.mu.Lock()
 	var stale []*intent
@@ -214,18 +242,26 @@ func (c *Coordinator) CheckIntentions(now time.Time) int {
 		}
 	}
 	c.mu.Unlock()
+	done := 0
 	for _, in := range stale {
-		c.finish(in)
+		if c.finish(in) != nil {
+			continue
+		}
 		c.clearIntent(in.ID, true)
+		done++
 	}
-	return len(stale)
+	return done
 }
 
-// clearIntent removes an intention and journals the completion.
+// clearIntent removes an intention and journals the completion. The
+// completion record is appended under c.mu (so the journal order matches
+// the state-change order) but synced after the lock is dropped: a slow
+// log device must not stall every other coordinator RPC. Group commit in
+// wal.Log.Sync coalesces the device syncs of concurrent completions.
 func (c *Coordinator) clearIntent(id uint64, finished bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.pending[id]; !ok {
+		c.mu.Unlock()
 		return
 	}
 	delete(c.pending, id)
@@ -236,34 +272,44 @@ func (c *Coordinator) clearIntent(id uint64, finished bool) {
 	}
 	e := xdr.NewEncoder(8)
 	e.PutUint64(id)
-	_, _ = c.cfg.Log.AppendSync(recComplete, e.Bytes())
+	log := c.cfg.Log
+	_, _ = log.Append(recComplete, e.Bytes())
+	c.mu.Unlock()
+	_ = log.Sync()
 }
 
 // finish performs the idempotent completing actions for an intention whose
 // initiator may have failed: it drives every site that could hold state
 // for the operation to the operation's final state.
-func (c *Coordinator) finish(in *intent) {
+func (c *Coordinator) finish(in *intent) error {
 	fh := in.FH
 	if len(c.cfg.CapKey) > 0 {
 		fh = fhandle.WithCapability(c.cfg.CapKey, fh)
 	}
 	in = &intent{ID: in.ID, Op: in.Op, FH: fh, Size: in.Size, Logged: in.Logged}
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	switch in.Op {
 	case OpRemove:
 		c.forEachDataSite(in.FH, func(addr netsim.Addr) {
-			c.objCall(addr, storageObjProcRemove, in.FH, nil)
+			record(c.objCall(addr, storageObjProcRemove, in.FH, nil))
 		})
 	case OpTruncate:
 		c.forEachDataSite(in.FH, func(addr netsim.Addr) {
-			c.objCall(addr, storageObjProcTruncate, in.FH, func(e *xdr.Encoder) { e.PutUint64(in.Size) })
+			record(c.objCall(addr, storageObjProcTruncate, in.FH, func(e *xdr.Encoder) { e.PutUint64(in.Size) }))
 		})
 	case OpCommit, OpMirror:
 		// Commit on every replica/site the file's blocks could live on;
 		// NFS commit of clean data is a no-op, so over-commit is safe.
 		c.forEachStorage(func(addr netsim.Addr) {
-			c.nfsCommit(addr, in.FH)
+			record(c.nfsCommit(addr, in.FH))
 		})
 	}
+	return firstErr
 }
 
 // forEachStorage visits every storage node address once.
@@ -315,29 +361,31 @@ const (
 
 // objCall issues a raw-object procedure for fh at addr; extra (optional)
 // appends procedure-specific arguments after the handle.
-func (c *Coordinator) objCall(addr netsim.Addr, proc uint32, fh fhandle.Handle, extra func(*xdr.Encoder)) {
+func (c *Coordinator) objCall(addr netsim.Addr, proc uint32, fh fhandle.Handle, extra func(*xdr.Encoder)) error {
 	cl, err := c.client(addr)
 	if err != nil {
-		return
+		return err
 	}
-	_, _ = cl.Call(storageObjProgram, storageObjVersion, proc, func(e *xdr.Encoder) {
+	_, err = cl.Call(storageObjProgram, storageObjVersion, proc, func(e *xdr.Encoder) {
 		fh.Encode(e)
 		if extra != nil {
 			extra(e)
 		}
 	})
+	return err
 }
 
 // nfsCommit issues an NFS COMMIT for fh at addr.
-func (c *Coordinator) nfsCommit(addr netsim.Addr, fh fhandle.Handle) {
+func (c *Coordinator) nfsCommit(addr netsim.Addr, fh fhandle.Handle) error {
 	cl, err := c.client(addr)
 	if err != nil {
-		return
+		return err
 	}
-	_, _ = cl.Call(nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcCommit), func(e *xdr.Encoder) {
+	_, err = cl.Call(nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcCommit), func(e *xdr.Encoder) {
 		args := nfsproto.CommitArgs{FH: fh}
 		args.Encode(e)
 	})
+	return err
 }
 
 // ---------------------------------------------------------------- serving
@@ -410,7 +458,13 @@ func (c *Coordinator) serve(call oncrpc.Call, from netsim.Addr) (func(*xdr.Encod
 	}
 }
 
-// Intend logs a new intention and returns its id.
+// Intend logs a new intention and returns its id. The record is appended
+// to the journal under c.mu — keeping journal order identical to id
+// order — but the durability sync runs outside the critical section, so
+// one slow log sync cannot block every other coordinator RPC. The
+// "logged before acknowledged" invariant holds: Intend does not return
+// (and the RPC reply is not sent) until Sync says the record is durable,
+// and concurrent intentions' syncs coalesce via group commit.
 func (c *Coordinator) Intend(op uint32, fh fhandle.Handle, size uint64) (uint64, error) {
 	c.mu.Lock()
 	id := c.nextID
@@ -423,9 +477,18 @@ func (c *Coordinator) Intend(op uint32, fh fhandle.Handle, size uint64) (uint64,
 	e.PutUint32(op)
 	fh.Encode(e)
 	e.PutUint64(size)
-	_, err := c.cfg.Log.AppendSync(recIntent, e.Bytes())
+	log := c.cfg.Log
+	_, err := log.Append(recIntent, e.Bytes())
 	c.mu.Unlock()
+	if err == nil {
+		err = log.Sync()
+	}
 	if err != nil {
+		// Not durable: withdraw the intention rather than acknowledge an
+		// operation recovery would never see.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
 		return 0, err
 	}
 	return id, nil
@@ -446,7 +509,6 @@ func (c *Coordinator) GetMap(fh fhandle.Handle, first uint64, count uint32) ([]u
 		return nil, route.ErrEmptyTable
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.MapFetches++
 	key := fh.Ident()
 	m := c.maps[key]
@@ -465,25 +527,46 @@ func (c *Coordinator) GetMap(fh fhandle.Handle, first uint64, count uint32) ([]u
 		grew = true
 	}
 	c.maps[key] = m
-	if grew {
-		e := xdr.NewEncoder(32 + 4*len(m))
-		fh.Encode(e)
-		e.PutUint32(uint32(len(m)))
-		for _, s := range m {
-			e.PutUint32(s)
-		}
-		if _, err := c.cfg.Log.AppendSync(recMapAlloc, e.Bytes()); err != nil {
-			return nil, err
-		}
-	}
 	out := make([]uint32, count)
 	copy(out, m[first:end])
+	if !grew {
+		c.mu.Unlock()
+		return out, nil
+	}
+	// Journal the post-state map under c.mu (records for the same file
+	// must hit the log in growth order — replay keeps the last one), then
+	// sync outside it; see Intend for the locking rationale.
+	e := xdr.NewEncoder(32 + 4*len(m))
+	fh.Encode(e)
+	e.PutUint32(uint32(len(m)))
+	for _, s := range m {
+		e.PutUint32(s)
+	}
+	log := c.cfg.Log
+	_, err := log.Append(recMapAlloc, e.Bytes())
+	c.mu.Unlock()
+	if err == nil {
+		err = log.Sync()
+	}
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // Recover rebuilds coordinator state from its intentions log and finishes
 // every operation that was in flight when the previous incarnation failed.
 func (c *Coordinator) Recover(log *wal.Log) error {
+	if err := c.recoverState(log); err != nil {
+		return err
+	}
+	c.finishRecovered()
+	return nil
+}
+
+// recoverState replays the log and installs the rebuilt state; it does
+// not finish pending operations.
+func (c *Coordinator) recoverState(log *wal.Log) error {
 	pending := make(map[uint64]*intent)
 	maps := make(map[fhandle.Key][]uint32)
 	var maxID uint64
@@ -548,10 +631,25 @@ func (c *Coordinator) Recover(log *wal.Log) error {
 	c.maps = maps
 	c.nextID = maxID + 1
 	c.mu.Unlock()
-	// Complete or abort operations in progress at the time of failure.
+	return nil
+}
+
+// finishRecovered completes or aborts the operations that were in flight
+// when the previous incarnation failed. The finishing actions are
+// idempotent, so re-finishing after a second crash is safe. An operation
+// whose sites cannot all be reached stays pending — the probe loop keeps
+// retrying it once the coordinator is serving.
+func (c *Coordinator) finishRecovered() {
+	c.mu.Lock()
+	pending := make([]*intent, 0, len(c.pending))
+	for _, in := range c.pending {
+		pending = append(pending, in)
+	}
+	c.mu.Unlock()
 	for _, in := range pending {
-		c.finish(in)
+		if c.finish(in) != nil {
+			continue
+		}
 		c.clearIntent(in.ID, true)
 	}
-	return nil
 }

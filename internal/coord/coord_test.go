@@ -299,3 +299,142 @@ func TestCoordinatorRPC(t *testing.T) {
 		t.Fatalf("getmap rpc: %v n=%d", nfsproto.Status(st), n)
 	}
 }
+
+// ---------------------------------------------------- failure-path fixes
+
+// slowSyncStore stalls every durability sync, simulating a slow or hung
+// log device.
+type slowSyncStore struct {
+	*wal.MemStore
+	delay time.Duration
+}
+
+func (s *slowSyncStore) Sync() error {
+	time.Sleep(s.delay)
+	return s.MemStore.Sync()
+}
+
+// TestConcurrentIntentionsProgressWithSlowLog is the regression test for
+// the lock-over-sync bug: Intend used to hold c.mu across the log's
+// durability sync, so one slow sync serialized every coordinator RPC and
+// even Stats/PendingIntentions. Now concurrent intentions group-commit:
+// N concurrent Intends must finish in a small multiple of ONE sync delay,
+// not N of them, and the read paths must answer while syncs are stuck.
+func TestConcurrentIntentionsProgressWithSlowLog(t *testing.T) {
+	const delay = 100 * time.Millisecond
+	net := netsim.New(netsim.Config{})
+	sport, err := net.Bind(netsim.Addr{Host: 10, Port: 2049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := storage.NewNode(sport, storage.NewObjectStore())
+	defer node.Close()
+	cport, err := net.Bind(netsim.Addr{Host: 90, Port: 3049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &slowSyncStore{MemStore: wal.NewMemStore(), delay: delay}
+	log, err := wal.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := New(cport, Config{
+		Log:        log,
+		Storage:    route.NewTable(4, []netsim.Addr{sport.Addr()}),
+		Net:        net,
+		Host:       90,
+		ProbeAfter: time.Hour,
+	})
+	defer co.Close()
+
+	const callers = 8
+	start := time.Now()
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func(i uint64) {
+			_, err := co.Intend(OpRemove, testFH(100+i), 0)
+			errs <- err
+		}(uint64(i))
+	}
+
+	// While the intentions are (at most two sync windows) in flight, the
+	// read-only surface must stay responsive.
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		_ = co.Stats()
+		_ = co.PendingIntentions()
+	}()
+	select {
+	case <-readDone:
+	case <-time.After(delay / 2):
+		t.Fatal("Stats/PendingIntentions blocked behind a slow log sync")
+	}
+
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// Serialized behaviour would need callers*delay (800ms). Group commit
+	// needs the leader's sync plus at most one follower batch.
+	if elapsed > 4*delay {
+		t.Fatalf("%d concurrent intentions took %v; want ~<=%v (group commit)", callers, elapsed, 3*delay)
+	}
+	if co.PendingIntentions() != callers {
+		t.Fatalf("pending = %d, want %d", co.PendingIntentions(), callers)
+	}
+}
+
+// TestRestartServesAfterRecovery: Restart rebuilds state and finishes
+// in-flight operations BEFORE serving, so a caller that reaches the new
+// incarnation can never observe pre-recovery state, and new intention ids
+// never collide with recovered ones.
+func TestRestartServesAfterRecovery(t *testing.T) {
+	r := newRig(t, time.Hour)
+	fh := testFH(40)
+	for _, n := range r.nodes {
+		_ = n.Store().WriteAt(storage.ObjectOf(fh), 0, []byte("zombie"), true)
+	}
+	oldID, err := r.co.Intend(OpRemove, fh, 0) // never completed
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.co.Close()
+
+	log2, err := wal.Open(r.store.CrashCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port2, err := r.net.Bind(netsim.Addr{Host: 91, Port: 3049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2, err := Restart(port2, Config{
+		Storage:    route.NewTable(4, []netsim.Addr{r.nodes[0].Addr(), r.nodes[1].Addr()}),
+		Net:        r.net,
+		Host:       91,
+		ProbeAfter: time.Hour,
+	}, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+
+	if co2.PendingIntentions() != 0 {
+		t.Fatalf("pending after Restart = %d", co2.PendingIntentions())
+	}
+	for i, node := range r.nodes {
+		if _, ok := node.Store().Size(storage.ObjectOf(fh)); ok {
+			t.Fatalf("node %d still holds data of interrupted remove", i)
+		}
+	}
+	newID, err := co2.Intend(OpCommit, testFH(41), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= oldID {
+		t.Fatalf("restarted coordinator reused intention id space: new %d <= old %d", newID, oldID)
+	}
+}

@@ -76,7 +76,31 @@ type Server struct {
 
 // New starts a directory server on the given service port.
 func New(port *netsim.Port, cfg Config) *Server {
-	s := &Server{
+	s := newServer(cfg)
+	s.srv = oncrpc.NewServer(port, oncrpc.HandlerFunc(s.serve))
+	return s
+}
+
+// Restart builds a directory server recovered from a snapshot (nil for
+// none) plus its surviving journal BEFORE it begins serving on port, so
+// no request can observe pre-recovery state. The restarted server keeps
+// journaling to the same log it replayed, so a later crash recovers from
+// the full record sequence. This is the uniform manager failover path of
+// §2.3: state = backing object + write-ahead log replay. The caller
+// re-installs the volume root with SetRoot and republishes the server's
+// address in the routing table.
+func Restart(port *netsim.Port, cfg Config, snapshot []byte, log *wal.Log) (*Server, error) {
+	cfg.Log = log
+	s := newServer(cfg)
+	if err := s.Recover(snapshot, log); err != nil {
+		return nil, err
+	}
+	s.srv = oncrpc.NewServer(port, oncrpc.HandlerFunc(s.serve))
+	return s, nil
+}
+
+func newServer(cfg Config) *Server {
+	return &Server{
 		site:   cfg.Site,
 		vol:    cfg.Volume,
 		kind:   cfg.Kind,
@@ -90,8 +114,6 @@ func New(port *netsim.Port, cfg Config) *Server {
 		log:    cfg.Log,
 		peers:  make(map[netsim.Addr]*oncrpc.Client),
 	}
-	s.srv = oncrpc.NewServer(port, oncrpc.HandlerFunc(s.serve))
-	return s
 }
 
 // Site returns the server's logical site ID.

@@ -1,0 +1,191 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"slice/internal/coord"
+	"slice/internal/dirsrv"
+	"slice/internal/netsim"
+	"slice/internal/route"
+	"slice/internal/smallfile"
+	"slice/internal/storage"
+	"slice/internal/wal"
+)
+
+// Chaos drives component failures and recoveries against a running
+// ensemble. Crashes go through the fabric's fault plane — the victim's
+// ports are torn down and in-flight datagrams to it are lost, exactly as
+// a machine failure would look from the network — and restarts rebuild
+// the component from the durable prefix of its journal (§2.3), rewiring
+// the shared routing tables or the µproxy's coordinator address so
+// clients recover through ordinary retransmission (§2.1).
+type Chaos struct {
+	e *Ensemble
+}
+
+// Chaos returns the fault controller for this ensemble.
+func (e *Ensemble) Chaos() *Chaos { return &Chaos{e: e} }
+
+// rebind swaps old for new in a routing table, preserving every other
+// logical site's binding.
+func rebind(t *route.Table, oldA, newA netsim.Addr) {
+	phys := t.Physical()
+	for i, a := range phys {
+		if a == oldA {
+			phys[i] = newA
+		}
+	}
+	t.Swap(phys)
+}
+
+// --------------------------------------------------------- coordinator
+
+// CrashCoordinator kills the coordinator host: its ports (server and
+// client side) are torn down, in-flight RPCs are lost, and only the
+// durable prefix of the intentions journal survives for restart.
+func (c *Chaos) CrashCoordinator() {
+	if c.e.Coord == nil {
+		return
+	}
+	c.e.Net.CrashHost(HostCoord)
+	c.e.Coord.Close()
+	c.e.Coord = nil
+	c.e.CoordLog = c.e.CoordLog.CrashCopy()
+}
+
+// RestartCoordinator rebuilds the coordinator from the durable prefix of
+// its journal on a fresh port of the same host. Recovery — replaying the
+// log and finishing every pending intention — completes before the new
+// port accepts calls, and the µproxy is re-pointed at the new address so
+// its stuck coordinator RPCs fail over mid-retry.
+func (c *Chaos) RestartCoordinator(port uint16) (*coord.Coordinator, error) {
+	if c.e.Coord != nil {
+		return nil, fmt.Errorf("ensemble: coordinator still running")
+	}
+	c.e.Net.RestartHost(HostCoord)
+	addr := netsim.Addr{Host: HostCoord, Port: port}
+	p, err := c.e.Net.Bind(addr)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(c.e.CoordLog)
+	if err != nil {
+		return nil, err
+	}
+	co, err := coord.Restart(p, coord.Config{
+		Storage:    c.e.StorageTable,
+		SmallFile:  c.e.SmallTable,
+		Net:        c.e.Net,
+		Host:       HostCoord,
+		ProbeAfter: c.e.cfg.CoordProbeAfter,
+		CapKey:     c.e.cfg.CapabilityKey,
+	}, log)
+	if err != nil {
+		return nil, err
+	}
+	c.e.Coord = co
+	c.e.Proxy.SetCoord(addr)
+	return co, nil
+}
+
+// --------------------------------------------------- directory servers
+
+// CrashDir kills directory server i's host. The snapshot of its backing
+// object must have been taken before the crash (checkpoints are
+// periodic in a deployment); pass it to RestartDir.
+func (c *Chaos) CrashDir(i int) {
+	c.e.Net.CrashHost(HostDir0 + uint32(i))
+	c.e.Dirs[i].Close()
+	c.e.DirLogs[i] = c.e.DirLogs[i].CrashCopy()
+}
+
+// RestartDir rebuilds directory server i from snapshot plus the durable
+// suffix of its journal, serving at host (a fresh site, or the original
+// host revived). The shared directory table is rebound to the new
+// address, which the µproxy observes as a route-version change: pending
+// requests re-resolve on their next client retransmission.
+func (c *Chaos) RestartDir(i int, snapshot []byte, host uint32) (*dirsrv.Server, error) {
+	oldAddr := netsim.Addr{Host: HostDir0 + uint32(i), Port: ServicePort}
+	if host == HostDir0+uint32(i) {
+		c.e.Net.RestartHost(host)
+	}
+	addr := netsim.Addr{Host: host, Port: ServicePort}
+	port, err := c.e.Net.Bind(addr)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(c.e.DirLogs[i])
+	if err != nil {
+		return nil, err
+	}
+	srv, err := dirsrv.Restart(port, dirsrv.Config{
+		Site:         uint32(i),
+		Volume:       1,
+		Kind:         c.e.cfg.NameKind,
+		Table:        c.e.DirTable,
+		Net:          c.e.Net,
+		Host:         host,
+		Clock:        c.e.cfg.Clock,
+		MirrorDegree: c.e.cfg.MirrorDegree,
+		UseMaps:      c.e.cfg.UseBlockMaps && c.e.cfg.Coordinator,
+	}, snapshot, log)
+	if err != nil {
+		return nil, err
+	}
+	srv.SetRoot(c.e.Root)
+	c.e.Dirs[i] = srv
+	rebind(c.e.DirTable, oldAddr, addr)
+	return srv, nil
+}
+
+// -------------------------------------------------- small-file servers
+
+// CrashSmall kills small-file server i's host. Its store is dataless:
+// everything needed for restart is the backing object (on a storage
+// node) plus the durable journal prefix.
+func (c *Chaos) CrashSmall(i int) {
+	c.e.Net.CrashHost(HostSmall0 + uint32(i))
+	c.e.Small[i].Close()
+	c.e.SmallLogs[i] = c.e.SmallLogs[i].CrashCopy()
+}
+
+// RestartSmall rebuilds small-file server i against its backing object
+// at host and rebinds the small-file table.
+func (c *Chaos) RestartSmall(i int, host uint32) (*smallfile.Server, error) {
+	oldAddr := netsim.Addr{Host: HostSmall0 + uint32(i), Port: ServicePort}
+	if host == HostSmall0+uint32(i) {
+		c.e.Net.RestartHost(host)
+	}
+	addr := netsim.Addr{Host: host, Port: ServicePort}
+	port, err := c.e.Net.Bind(addr)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(c.e.SmallLogs[i])
+	if err != nil {
+		return nil, err
+	}
+	backing := c.e.Storage[i%len(c.e.Storage)].Store()
+	backID := storage.ObjectID(0x5F<<56 | uint64(i))
+	srv, err := smallfile.Restart(port, backing, backID, log)
+	if err != nil {
+		return nil, err
+	}
+	c.e.Small[i] = srv
+	rebind(c.e.SmallTable, oldAddr, addr)
+	return srv, nil
+}
+
+// ------------------------------------------------------- storage nodes
+
+// PartitionStorage cuts storage node i off the fabric in both directions
+// without killing it: its ports stay bound, so healing restores service
+// with all state intact — the classic transient-partition fault.
+func (c *Chaos) PartitionStorage(i int) {
+	c.e.Net.IsolateHost(HostStorage0 + uint32(i))
+}
+
+// HealStorage reconnects a partitioned storage node.
+func (c *Chaos) HealStorage(i int) {
+	c.e.Net.RejoinHost(HostStorage0 + uint32(i))
+}

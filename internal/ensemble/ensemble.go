@@ -14,6 +14,7 @@ import (
 	"slice/internal/dirsrv"
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
+	"slice/internal/oncrpc"
 	"slice/internal/proxy"
 	"slice/internal/route"
 	"slice/internal/smallfile"
@@ -55,6 +56,14 @@ type Config struct {
 	UseBlockMaps bool
 	// LogicalSites sets routing-table granularity (default: server count).
 	LogicalSites int
+	// CoordProbeAfter bounds how long an intention may sit pending before
+	// the coordinator finishes the operation itself (0 = coord default).
+	// Chaos tests shrink it so probes fire within the test budget.
+	CoordProbeAfter time.Duration
+	// ClientRPC tunes every client's RPC timeouts and retries; the zero
+	// value keeps the oncrpc defaults. Chaos tests raise Retries so
+	// clients ride out a component's crash-to-restart window.
+	ClientRPC oncrpc.ClientConfig
 	// Net configures the fabric (loss, latency).
 	Net netsim.Config
 	// Clock injects timestamps into all servers.
@@ -164,12 +173,13 @@ func New(cfg Config) (*Ensemble, error) {
 			return nil, err
 		}
 		e.Coord = coord.New(port, coord.Config{
-			Log:       log,
-			Storage:   e.StorageTable,
-			SmallFile: e.SmallTable,
-			Net:       e.Net,
-			Host:      HostCoord,
-			CapKey:    cfg.CapabilityKey,
+			Log:        log,
+			Storage:    e.StorageTable,
+			SmallFile:  e.SmallTable,
+			Net:        e.Net,
+			Host:       HostCoord,
+			ProbeAfter: cfg.CoordProbeAfter,
+			CapKey:     cfg.CapabilityKey,
 		})
 	}
 
@@ -254,6 +264,7 @@ func (e *Ensemble) NewClient() (*client.Client, error) {
 		Server:     e.Virtual,
 		Threshold:  e.IOPolicy.Threshold,
 		StripeUnit: e.IOPolicy.StripeUnit,
+		RPC:        e.cfg.ClientRPC,
 	})
 	if err != nil {
 		return nil, err

@@ -222,6 +222,7 @@ type Stats struct {
 	Delivered uint64
 	Lost      uint64 // dropped by configured loss
 	Dropped   uint64 // dropped by taps or full queues or unbound ports
+	Faulted   uint64 // dropped by the runtime fault plane (crash/partition/link drop)
 	Bytes     uint64
 }
 
@@ -232,6 +233,7 @@ type statCounters struct {
 	delivered atomic.Uint64
 	lost      atomic.Uint64
 	dropped   atomic.Uint64
+	faulted   atomic.Uint64
 	bytes     atomic.Uint64
 }
 
@@ -255,6 +257,9 @@ type Network struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 	stats statCounters
+
+	faultMu sync.Mutex                 // serializes fault-plane mutators
+	faults  atomic.Pointer[faultState] // snapshot read lock-free by deliver
 }
 
 // New creates a network with the given configuration.
@@ -280,6 +285,7 @@ func (n *Network) Stats() Stats {
 		Delivered: n.stats.delivered.Load(),
 		Lost:      n.stats.lost.Load(),
 		Dropped:   n.stats.dropped.Load(),
+		Faulted:   n.stats.faulted.Load(),
 		Bytes:     n.stats.bytes.Load(),
 	}
 }
@@ -436,6 +442,17 @@ func (n *Network) send(d []byte) error {
 	n.stats.sent.Add(1)
 	n.stats.bytes.Add(uint64(len(d)))
 
+	// A crashed or isolated source host cannot put traffic on the wire at
+	// all — its datagrams vanish before any interposed element sees them.
+	if fs := n.faults.Load(); fs != nil && len(d) >= HeaderSize {
+		src := binary.BigEndian.Uint32(d[OffSrcHost:])
+		if fs.down[src] || fs.isolated[src] {
+			n.stats.faulted.Add(1)
+			FreeBuf(d)
+			return nil
+		}
+	}
+
 	if p := n.taps.Load(); p != nil {
 		for _, tok := range *p {
 			switch tok.tap.Handle(d) {
@@ -459,6 +476,20 @@ func (n *Network) deliver(d []byte) error {
 	if len(d) < HeaderSize {
 		return fmt.Errorf("%w: short datagram", ErrBadDatagram)
 	}
+	srcHost := binary.BigEndian.Uint32(d[OffSrcHost:])
+	dst := Addr{
+		Host: binary.BigEndian.Uint32(d[OffDstHost:]),
+		Port: binary.BigEndian.Uint16(d[OffDstPort:]),
+	}
+	// The fault plane is consulted here, after interposition, for the same
+	// reason loss is: rewritten traffic from a µproxy crosses the same
+	// failed links and dead hosts as direct traffic.
+	drop, extraDelay, dup := n.faultVerdict(srcHost, dst.Host)
+	if drop {
+		n.stats.faulted.Add(1)
+		FreeBuf(d)
+		return nil
+	}
 	if n.cfg.LossRate > 0 {
 		n.rngMu.Lock()
 		lose := n.rng.Float64() < n.cfg.LossRate
@@ -469,10 +500,6 @@ func (n *Network) deliver(d []byte) error {
 			return nil
 		}
 	}
-	dst := Addr{
-		Host: binary.BigEndian.Uint32(d[OffDstHost:]),
-		Port: binary.BigEndian.Uint16(d[OffDstPort:]),
-	}
 	n.mu.RLock()
 	p, ok := n.ports[dst]
 	n.mu.RUnlock()
@@ -482,12 +509,24 @@ func (n *Network) deliver(d []byte) error {
 		FreeBuf(d)
 		return nil
 	}
-	if n.cfg.Latency > 0 {
-		time.AfterFunc(n.cfg.Latency, func() { n.enqueue(p, d) })
-		return nil
+	if dup {
+		c := GetBuf(len(d))
+		copy(c, d)
+		n.enqueueAfter(p, c, extraDelay)
+	}
+	n.enqueueAfter(p, d, extraDelay)
+	return nil
+}
+
+// enqueueAfter enqueues d on p after the configured base latency plus any
+// fault-injected extra delay.
+func (n *Network) enqueueAfter(p *Port, d []byte, extra time.Duration) {
+	delay := n.cfg.Latency + extra
+	if delay > 0 {
+		time.AfterFunc(delay, func() { n.enqueue(p, d) })
+		return
 	}
 	n.enqueue(p, d)
-	return nil
 }
 
 func (n *Network) enqueue(p *Port, d []byte) {

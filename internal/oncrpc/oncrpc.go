@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slice/internal/netsim"
@@ -164,6 +165,16 @@ type Conn interface {
 
 // ---------------------------------------------------------------- client
 
+// Resolver reports the current address of a service. A client configured
+// with one re-resolves the destination before every transmission —
+// including retransmissions within a single Call — so a caller can
+// re-target a restarted or replacement manager without tearing the client
+// down (the paper's §2.3 failover: a reconfigured manager takes over and
+// traffic follows it). A zero return falls back to the client's static
+// server address. Resolvers are called concurrently and must be
+// thread-safe.
+type Resolver func() netsim.Addr
+
 // ClientConfig tunes RPC client behaviour.
 type ClientConfig struct {
 	// Timeout is the initial retransmission timeout (default 50ms).
@@ -172,6 +183,17 @@ type ClientConfig struct {
 	Retries int
 	// Backoff multiplies the timeout after each retransmission (default 2).
 	Backoff int
+	// Jitter is the maximum fraction of each retransmission timeout added
+	// as random slack, decorrelating the retry storms of clients that
+	// timed out together (default 0.1; negative disables).
+	Jitter float64
+	// XidSeed seeds the client's xid sequence. Zero (the default) draws a
+	// per-client random seed, so a client restarted on a reused host/port
+	// cannot collide with its previous incarnation's entries in a server's
+	// duplicate-request cache.
+	XidSeed uint32
+	// Resolve, when non-nil, overrides the server address per transmission.
+	Resolve Resolver
 }
 
 func (c *ClientConfig) defaults() {
@@ -184,6 +206,26 @@ func (c *ClientConfig) defaults() {
 	if c.Backoff <= 0 {
 		c.Backoff = 2
 	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+}
+
+// xidCounter feeds randomUint32. A scrambled atomic counter gives every
+// client process-wide unique, well-spread draws without a global rand lock.
+var xidCounter atomic.Uint64
+
+// randomUint32 returns the next draw from a splitmix64 sequence over the
+// package counter: cheap, lock-free, and uniform enough that two client
+// incarnations on the same host/port will not share an xid window.
+func randomUint32() uint32 {
+	x := xidCounter.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return uint32(x)
 }
 
 // ErrTimedOut is returned when all retransmissions of a call go unanswered.
@@ -217,19 +259,34 @@ type Client struct {
 // address. The client owns the port's receive loop.
 func NewClient(port Conn, server netsim.Addr, cfg ClientConfig) *Client {
 	cfg.defaults()
+	seed := cfg.XidSeed
+	if seed == 0 {
+		seed = randomUint32()
+	}
 	c := &Client{
 		port:    port,
 		server:  server,
 		cfg:     cfg,
-		nextXid: 1,
+		nextXid: seed,
 		pending: make(map[uint32]chan Reply),
 	}
 	go c.recvLoop()
 	return c
 }
 
-// Server returns the server address this client calls.
+// Server returns the static server address this client calls (a configured
+// Resolver may override it per transmission).
 func (c *Client) Server() netsim.Addr { return c.server }
+
+// target resolves the destination for one transmission.
+func (c *Client) target() netsim.Addr {
+	if c.cfg.Resolve != nil {
+		if a := c.cfg.Resolve(); !a.IsZero() {
+			return a
+		}
+	}
+	return c.server
+}
 
 // Retransmissions returns the number of retransmitted datagrams.
 func (c *Client) Retransmissions() uint64 {
@@ -297,16 +354,26 @@ func (c *Client) Call(prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte,
 
 	payload := EncodeCall(xid, prog, vers, proc, args)
 	timeout := c.cfg.Timeout
+	dst := c.target()
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.mu.Lock()
 			c.retransmissions++
 			c.mu.Unlock()
+			// Re-resolve before every retransmission: if the server was
+			// restarted elsewhere while we waited, the retry goes to the
+			// replacement instead of the corpse.
+			dst = c.target()
 		}
-		if err := c.port.SendTo(c.server, payload); err != nil {
+		if err := c.port.SendTo(dst, payload); err != nil {
 			return nil, err
 		}
-		timer := time.NewTimer(timeout)
+		wait := timeout
+		if c.cfg.Jitter > 0 {
+			frac := float64(randomUint32()) / (1 << 32)
+			wait += time.Duration(float64(timeout) * c.cfg.Jitter * frac)
+		}
+		timer := time.NewTimer(wait)
 		select {
 		case rep := <-ch:
 			timer.Stop()
@@ -319,7 +386,7 @@ func (c *Client) Call(prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte,
 		}
 	}
 	return nil, fmt.Errorf("%w: proc %d to %s after %d attempts",
-		ErrTimedOut, proc, c.server, c.cfg.Retries)
+		ErrTimedOut, proc, dst, c.cfg.Retries)
 }
 
 // ---------------------------------------------------------------- server

@@ -237,6 +237,160 @@ func TestClientCloseFailsCalls(t *testing.T) {
 	}
 }
 
+// countingHandler replies with the number of times it has executed.
+func countingHandler(executions *atomic.Uint64) Handler {
+	return HandlerFunc(func(call Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+		n := executions.Add(1)
+		return func(e *xdr.Encoder) { e.PutUint64(n) }, AcceptSuccess
+	})
+}
+
+// TestClientRestartNoStaleDRCReplay is the regression test for xid
+// seeding: a client restarted on the same host/port must not match its
+// previous incarnation's duplicate-request-cache entries and receive a
+// stale reply. With the old fixed nextXid=1 seed, the second client's
+// first call collided with the first client's and the server replayed the
+// dead incarnation's reply instead of executing.
+func TestClientRestartNoStaleDRCReplay(t *testing.T) {
+	var executions atomic.Uint64
+	n := netsim.New(netsim.Config{})
+	sp, err := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sp, countingHandler(&executions))
+	defer srv.Close()
+
+	clientAddr := netsim.Addr{Host: 1, Port: 100}
+	callOnce := func() uint64 {
+		t.Helper()
+		cp, err := n.Bind(clientAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := NewClient(cp, srv.Addr(), ClientConfig{})
+		defer cli.Close()
+		body, err := cli.Call(7, 1, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := xdr.NewDecoder(body).Uint64()
+		return v
+	}
+
+	if got := callOnce(); got != 1 {
+		t.Fatalf("first incarnation saw execution %d, want 1", got)
+	}
+	// "Restart" the client: same host, same port, fresh incarnation.
+	if got := callOnce(); got != 2 {
+		t.Fatalf("restarted client saw execution %d, want 2 (stale DRC replay)", got)
+	}
+	if got := executions.Load(); got != 2 {
+		t.Fatalf("handler executed %d times, want 2", got)
+	}
+}
+
+// TestXidSeedsPerClient: distinct clients draw distinct random xid seeds,
+// and an explicit XidSeed is honoured.
+func TestXidSeedsPerClient(t *testing.T) {
+	var mu sync.Mutex
+	var xids []uint32
+	h := HandlerFunc(func(call Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
+		mu.Lock()
+		xids = append(xids, call.Xid)
+		mu.Unlock()
+		return func(e *xdr.Encoder) {}, AcceptSuccess
+	})
+	n := netsim.New(netsim.Config{})
+	sp, _ := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	srv := NewServer(sp, h)
+	defer srv.Close()
+
+	for i := 0; i < 4; i++ {
+		cp, err := n.BindAny(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := NewClient(cp, srv.Addr(), ClientConfig{})
+		if _, err := cli.Call(7, 1, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		cli.Close()
+	}
+	mu.Lock()
+	firstXids := append([]uint32(nil), xids...)
+	mu.Unlock()
+	seen := make(map[uint32]bool)
+	for _, x := range firstXids {
+		if x == 1 {
+			t.Fatal("client still seeds xid from the fixed value 1")
+		}
+		if seen[x] {
+			t.Fatalf("two clients drew the same first xid %d", x)
+		}
+		seen[x] = true
+	}
+
+	cp, _ := n.BindAny(1)
+	cli := NewClient(cp, srv.Addr(), ClientConfig{XidSeed: 0xDEAD0001})
+	defer cli.Close()
+	if _, err := cli.Call(7, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := xids[len(xids)-1]
+	mu.Unlock()
+	if got != 0xDEAD0001 {
+		t.Fatalf("explicit XidSeed ignored: first xid %#x", got)
+	}
+}
+
+// TestResolverRetargetsRestartedServer: a client whose config carries a
+// Resolver follows the service to a replacement address — including via
+// retransmission within a single in-flight Call, the failover path a
+// restarted manager depends on.
+func TestResolverRetargetsRestartedServer(t *testing.T) {
+	var executions atomic.Uint64
+	n := netsim.New(netsim.Config{})
+	sp, _ := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	srvA := NewServer(sp, countingHandler(&executions))
+
+	var target atomic.Value // netsim.Addr
+	target.Store(srvA.Addr())
+	cp, _ := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	cli := NewClient(cp, srvA.Addr(), ClientConfig{
+		Timeout: 20 * time.Millisecond,
+		Retries: 8,
+		Resolve: func() netsim.Addr { return target.Load().(netsim.Addr) },
+	})
+	defer cli.Close()
+
+	if _, err := cli.Call(7, 1, 1, nil); err != nil {
+		t.Fatalf("call to original server: %v", err)
+	}
+
+	// Kill the server. Mid-call, flip the resolver to a replacement on a
+	// different host after the first transmission has already timed out.
+	srvA.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(7, 1, 2, nil)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	sp2, _ := n.Bind(netsim.Addr{Host: 3, Port: 2049})
+	srvB := NewServer(sp2, countingHandler(&executions))
+	defer srvB.Close()
+	target.Store(srvB.Addr())
+
+	if err := <-done; err != nil {
+		t.Fatalf("call did not fail over to restarted server: %v", err)
+	}
+	if cli.Retransmissions() == 0 {
+		t.Fatal("expected the failover to happen via retransmission")
+	}
+}
+
 // FuzzParse ensures the RPC header parsers never panic on hostile bytes —
 // they run on every datagram a server or µproxy receives.
 func FuzzParse(f *testing.F) {

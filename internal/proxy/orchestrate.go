@@ -24,10 +24,10 @@ import (
 // coordIntend declares an intention. With no coordinator configured it
 // returns id 0, which Complete ignores.
 func (p *Proxy) coordIntend(op uint32, fh fhandle.Handle, size uint64) uint64 {
-	if p.cfg.Coord.IsZero() {
+	if p.coord().IsZero() {
 		return 0
 	}
-	c, err := p.rpc(p.cfg.Coord)
+	c, err := p.coordRPC()
 	if err != nil {
 		return 0
 	}
@@ -52,10 +52,10 @@ func (p *Proxy) coordIntend(op uint32, fh fhandle.Handle, size uint64) uint64 {
 
 // coordComplete clears an intention.
 func (p *Proxy) coordComplete(id uint64) {
-	if id == 0 || p.cfg.Coord.IsZero() {
+	if id == 0 || p.coord().IsZero() {
 		return
 	}
-	c, err := p.rpc(p.cfg.Coord)
+	c, err := p.coordRPC()
 	if err != nil {
 		return
 	}
@@ -66,7 +66,7 @@ func (p *Proxy) coordComplete(id uint64) {
 
 // coordGetMap fetches a block-map fragment.
 func (p *Proxy) coordGetMap(fh fhandle.Handle, first uint64, count uint32) ([]uint32, error) {
-	c, err := p.rpc(p.cfg.Coord)
+	c, err := p.coordRPC()
 	if err != nil {
 		return nil, err
 	}
@@ -112,20 +112,24 @@ func (p *Proxy) capFH(fh fhandle.Handle) fhandle.Handle {
 	return fhandle.WithCapability(p.cfg.CapKey, fh)
 }
 
-// objOp issues a raw-object remove/truncate/stat at addr.
-func (p *Proxy) objOp(addr netsim.Addr, proc uint32, fh fhandle.Handle, extra func(*xdr.Encoder)) {
+// objOp issues a raw-object remove/truncate/stat at addr. The error
+// matters to callers holding an intention: a site that could not be
+// reached still holds data, so the intention must stay pending for the
+// coordinator to finish.
+func (p *Proxy) objOp(addr netsim.Addr, proc uint32, fh fhandle.Handle, extra func(*xdr.Encoder)) error {
 	c, err := p.rpc(addr)
 	if err != nil {
-		return
+		return err
 	}
 	p.st.initiated.Add(1)
 	capped := p.capFH(fh)
-	_, _ = c.Call(storage.ObjProgram, storage.ObjVersion, proc, func(e *xdr.Encoder) {
+	_, err = c.Call(storage.ObjProgram, storage.ObjVersion, proc, func(e *xdr.Encoder) {
 		capped.Encode(e)
 		if extra != nil {
 			extra(e)
 		}
 	})
+	return err
 }
 
 // dataSites enumerates the sites that may hold data of fh: its small-file
@@ -239,10 +243,18 @@ func (p *Proxy) routeRemove(d []byte, key pendKey, pd *pendingReq) netsim.Verdic
 			}
 		}
 		id := p.coordIntend(coord.OpRemove, child, 0)
+		cleared := true
 		for _, site := range p.dataSites(child) {
-			p.objOp(site, storage.ObjProcRemove, child, nil)
+			if err := p.objOp(site, storage.ObjProcRemove, child, nil); err != nil {
+				cleared = false
+			}
 		}
-		p.coordComplete(id)
+		// Complete only when every site confirmed. Otherwise the
+		// intention stays pending and the coordinator's probe finishes
+		// the idempotent remove on all sites (§4.2) — never an orphan.
+		if cleared {
+			p.coordComplete(id)
+		}
 		p.attrs.forget(child)
 		p.maps.forget(child)
 	}
@@ -266,12 +278,19 @@ func (p *Proxy) routeSetAttr(d []byte, key pendKey, pd *pendingReq) netsim.Verdi
 		fh, size := args.FH, args.Sattr.Size
 		pd.onOK = func() {
 			id := p.coordIntend(coord.OpTruncate, fh, size)
+			cleared := true
 			for _, site := range p.dataSites(fh) {
-				p.objOp(site, storage.ObjProcTruncate, fh, func(e *xdr.Encoder) {
+				if err := p.objOp(site, storage.ObjProcTruncate, fh, func(e *xdr.Encoder) {
 					e.PutUint64(size)
-				})
+				}); err != nil {
+					cleared = false
+				}
 			}
-			p.coordComplete(id)
+			// As with remove: an unreached site keeps the intention
+			// pending so the coordinator finishes the truncate itself.
+			if cleared {
+				p.coordComplete(id)
+			}
 			now := attr.FromGo(time.Now())
 			p.updateAttr(fh, func(a *attr.Attr) {
 				a.Size = size
@@ -294,15 +313,37 @@ func (p *Proxy) absorbCommit(client netsim.Addr, xid uint32, info nfsproto.Reque
 
 	id := p.coordIntend(coord.OpCommit, fh, uint64(info.Count))
 	var verf uint64
+	committed := true
 	for _, site := range p.dataSites(fh) {
-		var res nfsproto.CommitRes
+		var cres nfsproto.CommitRes
 		if err := p.nfsCall(site, nfsproto.ProcCommit, &nfsproto.CommitArgs{
 			FH: p.capFH(fh), Offset: info.Offset, Count: info.Count,
-		}, &res); err == nil && res.Status == nfsproto.OK {
-			verf ^= res.Verf
+		}, &cres); err == nil && cres.Status == nfsproto.OK {
+			verf ^= cres.Verf
+		} else {
+			committed = false
 		}
 	}
-	p.coordComplete(id)
+	// Only a fully committed write set clears the intention. A partial
+	// commit with a durable intention may still be acknowledged — the
+	// coordinator's probe finishes the idempotent commit on every site
+	// (§4.2), so the acknowledgement never outruns durability. Without
+	// an intention there is no such guarantee: fail the commit so the
+	// client retains and retries its uncommitted writes.
+	if committed {
+		p.coordComplete(id)
+	} else if id == 0 {
+		fail := nfsproto.CommitRes{Status: nfsproto.ErrIO}
+		payload := oncrpc.EncodeReply(xid, oncrpc.AcceptSuccess, fail.Encode)
+		if out, err := netsim.Build(p.cfg.Virtual, client, payload); err == nil {
+			p.st.absorbed.Add(1)
+			p.st.responses.Add(1)
+			_ = p.cfg.Net.Inject(out)
+		} else {
+			p.st.dropped.Add(1)
+		}
+		return
+	}
 
 	res := nfsproto.CommitRes{Status: nfsproto.OK, Verf: verf}
 	if at, ok := p.attrs.get(fh); ok {

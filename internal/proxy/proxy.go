@@ -3,6 +3,7 @@ package proxy
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slice/internal/fhandle"
@@ -96,6 +97,12 @@ type pendingReq struct {
 	// request so the worst outcome is what the client sees.
 	errReply []byte
 
+	// routeVer is the combined routing-table version the path was
+	// resolved under. A retransmission arriving after the tables changed
+	// (failover republished a server) re-resolves instead of replaying
+	// the recorded — possibly dead — path.
+	routeVer uint64
+
 	// onOK runs when a successful reply arrives, before it is forwarded;
 	// orchestration hooks use it. Responses with a hook are finished on
 	// a helper goroutine because hooks issue blocking RPCs.
@@ -124,6 +131,11 @@ type pendShard struct {
 type Proxy struct {
 	cfg Config
 
+	// coordAddr is the current coordinator address, swappable at runtime
+	// so a restarted coordinator (fresh port) can be re-targeted without
+	// tearing the µproxy down. Zero disables the coordinator protocol.
+	coordAddr atomic.Pointer[netsim.Addr]
+
 	// shards holds the pending-request table, split so that concurrent
 	// clients contend only when they hash to the same shard.
 	shards [numShards]pendShard
@@ -134,6 +146,11 @@ type Proxy struct {
 
 	clientsMu sync.Mutex
 	clients   map[netsim.Addr]*oncrpc.Client
+	// coordCli is the coordinator client; unlike the per-address clients
+	// it resolves its destination per transmission from coordAddr, so an
+	// in-flight call retries against the coordinator's new address after
+	// failover instead of timing out against the dead one.
+	coordCli *oncrpc.Client
 
 	tapTok    *netsim.TapToken
 	st        stageCounters
@@ -152,6 +169,8 @@ func New(cfg Config) *Proxy {
 		clients: make(map[netsim.Addr]*oncrpc.Client),
 		stopCh:  make(chan struct{}),
 	}
+	coordAddr := cfg.Coord
+	p.coordAddr.Store(&coordAddr)
 	for i := range p.shards {
 		p.shards[i].pend = make(map[pendKey]*pendingReq)
 	}
@@ -174,8 +193,29 @@ func (p *Proxy) Close() {
 		for _, c := range p.clients {
 			c.Close()
 		}
+		if p.coordCli != nil {
+			p.coordCli.Close()
+		}
 		p.clientsMu.Unlock()
 	})
+}
+
+// coord returns the coordinator address currently in effect.
+func (p *Proxy) coord() netsim.Addr { return *p.coordAddr.Load() }
+
+// SetCoord re-targets the coordinator, e.g. after the ensemble restarts
+// it on a fresh port. New coordinator RPCs use the address immediately;
+// calls already retrying re-resolve it on their next retransmission.
+func (p *Proxy) SetCoord(a netsim.Addr) { p.coordAddr.Store(&a) }
+
+// routeVersion folds the versions of every table the µproxy forwards by;
+// it changes exactly when a failover republishes some server's address.
+func (p *Proxy) routeVersion() uint64 {
+	v := p.cfg.Names.Dirs.Version() + p.cfg.IO.Storage.Version()
+	if p.cfg.IO.SmallFile != nil {
+		v += p.cfg.IO.SmallFile.Version()
+	}
+	return v
 }
 
 // Stats returns a snapshot of the per-stage CPU accounting.
@@ -313,8 +353,28 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 			targets = append([]netsim.Addr(nil), pd.targets...)
 		}
 		info := pd.info
+		prog, proc, ver := pd.prog, pd.proc, pd.routeVer
 		s.mu.Unlock()
 		p.st.decodeNS.Add(uint64(time.Since(t0)))
+		// If the routing tables changed since the path was recorded, the
+		// recorded servers may be dead (crashed and republished at new
+		// addresses): re-resolve the path so the client's end-to-end
+		// retries — the §2.1 recovery mechanism — reach the survivors.
+		if cur := p.routeVersion(); ver != cur {
+			if fresh, ok := p.retargets(prog, proc, info); ok {
+				targets = fresh
+				s.mu.Lock()
+				if pd2 := s.pend[key]; pd2 != nil {
+					if len(fresh) <= len(pd2.targetsBuf) {
+						pd2.targets = pd2.targetsBuf[:copy(pd2.targetsBuf[:], fresh)]
+					} else {
+						pd2.targets = append([]netsim.Addr(nil), fresh...)
+					}
+					pd2.routeVer = cur
+				}
+				s.mu.Unlock()
+			}
+		}
 		// Storage-bound retransmissions need the capability re-stamped:
 		// the client resends the raw handle.
 		if len(p.cfg.CapKey) > 0 && !p.cfg.IO.SmallFileTarget(info.Offset) &&
@@ -386,7 +446,7 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 	case nfsproto.ProcSetAttr:
 		return p.routeSetAttr(d, key, pd)
 	case nfsproto.ProcRead, nfsproto.ProcWrite:
-		if info.FH.Mapped() && !p.cfg.Coord.IsZero() {
+		if info.FH.Mapped() && !p.coord().IsZero() {
 			// Mapped files may need a blocking block-map fetch from the
 			// coordinator before they can be routed.
 			p.wg.Add(1)
@@ -472,7 +532,7 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 // readTarget resolves the storage node for a read, consulting block maps
 // for mapped files and the static placement function otherwise.
 func (p *Proxy) readTarget(fh fhandle.Handle, stripe uint64) (netsim.Addr, error) {
-	if fh.Mapped() && !p.cfg.Coord.IsZero() {
+	if fh.Mapped() && !p.coord().IsZero() {
 		site, err := p.mappedSite(fh, stripe)
 		if err != nil {
 			return netsim.Addr{}, err
@@ -484,7 +544,7 @@ func (p *Proxy) readTarget(fh fhandle.Handle, stripe uint64) (netsim.Addr, error
 
 // writeTargets resolves the storage nodes for a write (all replicas).
 func (p *Proxy) writeTargets(fh fhandle.Handle, stripe uint64) ([]netsim.Addr, error) {
-	if fh.Mapped() && !p.cfg.Coord.IsZero() && !fh.Mirrored() {
+	if fh.Mapped() && !p.coord().IsZero() && !fh.Mirrored() {
 		site, err := p.mappedSite(fh, stripe)
 		if err != nil {
 			return nil, err
@@ -517,12 +577,64 @@ func (p *Proxy) mappedSite(fh fhandle.Handle, stripe uint64) (uint32, error) {
 	return site, nil
 }
 
+// retargets re-resolves the forwarding path of a retransmitted request
+// after a routing-table change. Only paths that resolve without blocking
+// are recomputed; mapped-file I/O may need a coordinator RPC, which must
+// not run on the sender's goroutine, so it keeps its recorded path.
+// Resolution is deterministic (mkdir switching hashes the parent handle
+// and name), so a recomputed path agrees with the original whenever the
+// responsible logical site is unchanged — only the physical address moves.
+func (p *Proxy) retargets(prog uint32, proc nfsproto.Proc, info nfsproto.RequestInfo) ([]netsim.Addr, bool) {
+	if prog == mountProgram {
+		a, err := p.cfg.Names.Dirs.Lookup(p.cfg.MountSite)
+		if err != nil {
+			return nil, false
+		}
+		return []netsim.Addr{a}, true
+	}
+	if proc == nfsproto.ProcRead || proc == nfsproto.ProcWrite {
+		if info.FH.Mapped() && !p.coord().IsZero() {
+			return nil, false
+		}
+		if p.cfg.IO.SmallFileTarget(info.Offset) {
+			a, err := p.cfg.IO.SmallFileServer(info.FH)
+			if err != nil {
+				return nil, false
+			}
+			return []netsim.Addr{a}, true
+		}
+		stripe := p.cfg.IO.StripeIndex(info.Offset)
+		if proc == nfsproto.ProcWrite {
+			ts, err := p.writeTargets(info.FH, stripe)
+			if err != nil || len(ts) == 0 {
+				return nil, false
+			}
+			if !info.FH.Mirrored() {
+				ts = ts[:1]
+			}
+			return ts, true
+		}
+		a, err := p.readTarget(info.FH, stripe)
+		if err != nil {
+			return nil, false
+		}
+		return []netsim.Addr{a}, true
+	}
+	// Name-space and attribute operations route by the name policy.
+	a, err := p.cfg.Names.AddrFor(&info)
+	if err != nil {
+		return nil, false
+	}
+	return []netsim.Addr{a}, true
+}
+
 // forward registers the pending record, rewrites the destination in place
 // (incremental checksum update), and reinjects the datagram.
 func (p *Proxy) forward(d []byte, key pendKey, pd *pendingReq, target netsim.Addr) netsim.Verdict {
 	t0 := time.Now()
 	pd.targetsBuf[0] = target
 	pd.targets = pd.targetsBuf[:1]
+	pd.routeVer = p.routeVersion()
 	s := p.shardFor(key)
 	s.mu.Lock()
 	s.pend[key] = pd
@@ -547,6 +659,7 @@ func (p *Proxy) forwardMulti(d []byte, key pendKey, pd *pendingReq, targets []ne
 	} else {
 		pd.targets = targets
 	}
+	pd.routeVer = p.routeVersion()
 	s := p.shardFor(key)
 	s.mu.Lock()
 	s.pend[key] = pd
@@ -591,6 +704,25 @@ func (p *Proxy) rpc(addr netsim.Addr) (*oncrpc.Client, error) {
 	c := oncrpc.NewClient(port, addr, oncrpc.ClientConfig{})
 	p.clients[addr] = c
 	return c, nil
+}
+
+// coordRPC returns the coordinator client, creating it on first use. It
+// is built with a resolver reading coordAddr so each (re)transmission of
+// an in-flight call chases the address current at send time: a call
+// stuck against a dead coordinator completes against its replacement as
+// soon as SetCoord publishes the new address.
+func (p *Proxy) coordRPC() (*oncrpc.Client, error) {
+	p.clientsMu.Lock()
+	defer p.clientsMu.Unlock()
+	if p.coordCli != nil {
+		return p.coordCli, nil
+	}
+	port, err := p.cfg.Net.BindAny(p.cfg.Host)
+	if err != nil {
+		return nil, err
+	}
+	p.coordCli = oncrpc.NewClient(port, p.coord(), oncrpc.ClientConfig{Resolve: p.coord})
+	return p.coordCli, nil
 }
 
 // nfsCall issues an NFS call the µproxy originates itself (lookups for

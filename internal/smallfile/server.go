@@ -6,6 +6,7 @@ import (
 	"slice/internal/nfsproto"
 	"slice/internal/oncrpc"
 	"slice/internal/storage"
+	"slice/internal/wal"
 	"slice/internal/xdr"
 )
 
@@ -24,6 +25,18 @@ func NewServer(port *netsim.Port, store *Store) *Server {
 	s := &Server{store: store}
 	s.srv = oncrpc.NewServer(port, oncrpc.HandlerFunc(s.serve))
 	return s
+}
+
+// Restart builds a small-file server whose store is recovered from its
+// journal against the backing object BEFORE the server starts accepting
+// calls on port — the §2.3 dataless-manager failover path. The restarted
+// store keeps journaling to the log it replayed.
+func Restart(port *netsim.Port, backing *storage.ObjectStore, backID storage.ObjectID, log *wal.Log) (*Server, error) {
+	store := NewStore(backing, backID, log)
+	if err := store.Recover(log); err != nil {
+		return nil, err
+	}
+	return NewServer(port, store), nil
 }
 
 // Store returns the underlying store (for stats and failover tests).

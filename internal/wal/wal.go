@@ -121,11 +121,19 @@ type Stats struct {
 
 // Log is a write-ahead journal over a Store.
 type Log struct {
-	mu      sync.Mutex
-	store   Store
-	nextSeq uint64
-	dirty   bool
-	stats   Stats
+	mu        sync.Mutex
+	store     Store
+	nextSeq   uint64
+	appendGen uint64 // bumped by every Append
+	syncGen   uint64 // appendGen horizon known durable
+	stats     Stats
+
+	// syncMu serializes store.Sync and forms the group-commit queue:
+	// callers blocked here when the leader finishes usually find their
+	// records already durable and return without another device sync.
+	// Never held together with mu by the same goroutine except in
+	// Checkpoint (syncMu before mu).
+	syncMu sync.Mutex
 }
 
 // Open attaches to a store, scanning existing durable records to find the
@@ -168,24 +176,45 @@ func (l *Log) Append(recType uint32, payload []byte) (uint64, error) {
 	if err := l.store.Append(frame); err != nil {
 		return 0, err
 	}
-	l.dirty = true
+	l.appendGen++
 	l.stats.Appends++
 	l.stats.Bytes += uint64(len(frame))
 	return seq, nil
 }
 
 // Sync forces buffered records to durable storage (group commit point).
+// It returns once every record appended before the call is durable, but
+// does not hold the log mutex across the store sync: concurrent Sync
+// callers queue behind one leader and piggyback on its device sync, so a
+// slow store stalls only the records actually waiting on it — not every
+// Append, Scan, and Stats on the log.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.dirty {
+	goal := l.appendGen
+	done := l.syncGen >= goal
+	l.mu.Unlock()
+	if done {
 		return nil
 	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.syncGen >= goal {
+		// The previous leader's sync covered our records: group commit.
+		l.mu.Unlock()
+		return nil
+	}
+	horizon := l.appendGen
+	l.mu.Unlock()
 	if err := l.store.Sync(); err != nil {
 		return err
 	}
-	l.dirty = false
+	l.mu.Lock()
+	if horizon > l.syncGen {
+		l.syncGen = horizon
+	}
 	l.stats.Syncs++
+	l.mu.Unlock()
 	return nil
 }
 
@@ -222,10 +251,15 @@ func (l *Log) Scan(fn func(seq uint64, recType uint32, payload []byte) error) er
 		}
 		seq := binary.BigEndian.Uint64(rest[4:])
 		recType := binary.BigEndian.Uint32(rest[12:])
-		plen := int(binary.BigEndian.Uint32(rest[16:]))
-		if plen < 0 || len(rest) < headerLen+plen+crcLen {
-			return nil // torn tail
+		// Bound the on-disk length against the remaining data BEFORE any
+		// int arithmetic: a corrupt plen near 1<<31 would overflow
+		// headerLen+plen+crcLen on 32-bit platforms and defeat the torn-
+		// tail check. Comparing in uint64 space is exact for any value.
+		plen64 := uint64(binary.BigEndian.Uint32(rest[16:]))
+		if plen64 > uint64(len(rest)-headerLen-crcLen) {
+			return nil // torn tail (or insane length: cannot be a full record)
 		}
+		plen := int(plen64)
 		want := binary.BigEndian.Uint32(rest[headerLen+plen:])
 		got := crc32.ChecksumIEEE(rest[:headerLen+plen])
 		if want != got {
@@ -245,8 +279,10 @@ func (l *Log) Scan(fn func(seq uint64, recType uint32, payload []byte) error) er
 // Checkpoint discards the log after its state has been captured in backing
 // objects. The sequence counter is preserved.
 func (l *Log) Checkpoint() error {
+	l.syncMu.Lock() // exclude a concurrent store.Sync racing the Reset
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.dirty = false
+	l.syncGen = l.appendGen
 	return l.store.Reset()
 }
