@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-proxy fuzz
+.PHONY: check vet build test race bench bench-proxy bench-gate lint cover fuzz corpus
 
 # The full gate: everything a change must pass before it lands.
 check: vet build race bench-proxy
@@ -24,6 +24,45 @@ bench:
 # The contended data-path benchmarks (compare against BENCH_proxy.json).
 bench-proxy:
 	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem -benchtime 1s -cpu 1,4 .
+
+# Benchmark regression gate: repeated short runs of the gated data-path
+# benchmarks, reduced to their minimum and compared against the
+# checked-in baseline. Allocation counts are held exactly (the forward
+# path must stay 0 allocs/op); ns/op gets BENCH_TOLERANCE headroom for
+# machine noise. bench.out is kept for CI artifact upload.
+BENCH_COUNT ?= 6
+BENCH_TIME ?= 20000x
+BENCH_TOLERANCE ?= 2.5
+bench-gate:
+	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem \
+	    -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -cpu 1,4 . > bench.out \
+	    || { cat bench.out; exit 1; }
+	$(GO) run ./cmd/benchgate -baseline BENCH_proxy.json -input bench.out -tolerance $(BENCH_TOLERANCE)
+
+# Static analysis beyond vet. The tools are not vendored: CI installs
+# them; offline checkouts skip with a note rather than failing.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+	    staticcheck ./... ; \
+	else echo "lint: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+	    govulncheck ./... ; \
+	else echo "lint: govulncheck not installed; skipping"; fi
+
+# Coverage with a floor: the suite must keep covering at least
+# COVER_FLOOR% of statements.
+COVER_FLOOR ?= 65
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/,"",$$3); print $$3 }'); \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
+	    if (t+0 < f+0) { printf "cover: %.1f%% is below the %s%% floor\n", t, f; exit 1 } \
+	    else { printf "cover: %.1f%% >= %s%% floor\n", t, f } }'
+
+# Regenerate the checked-in fuzz seed corpora (testdata/fuzz/...).
+corpus:
+	$(GO) run ./tools/gencorpus
 
 # Fixed-budget run of every fuzz target (wire parsers and the WAL scanner).
 FUZZTIME ?= 10s

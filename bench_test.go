@@ -15,6 +15,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/proxy"
 	"slice/internal/route"
@@ -288,12 +289,18 @@ func newForwardHarness(b *testing.B) *forwardHarness {
 	dirs := route.NewTable(fwdLanes, dirAddrs)
 	storage := route.NewTable(fwdLanes, dirAddrs)
 	virtual := netsim.Addr{Host: 9999, Port: 2049}
+	// Tracing and histograms stay on in the benchmark: the observability
+	// layer is always-on in deployments, so its cost (one pooled span and
+	// a handful of atomic adds per request) is part of the budget the
+	// 0 allocs/op gate protects.
 	p := proxy.New(proxy.Config{
 		Net:     n,
 		Host:    9998,
 		Virtual: virtual,
 		IO:      route.NewIOPolicy(nil, storage),
 		Names:   route.NewNamePolicy(route.MkdirSwitching, 0, dirs),
+		Obs:     obs.NewRegistry("uproxy"),
+		Tracer:  obs.NewTracer(256),
 	})
 	b.Cleanup(p.Close)
 	return &forwardHarness{net: n, p: p, virtual: virtual, logical: fwdLanes, servers: servers}

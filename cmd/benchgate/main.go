@@ -1,0 +1,63 @@
+// Command benchgate gates benchmark results against the checked-in
+// baseline. Pipe `go test -bench` output through it:
+//
+//	go test -run xxx -bench 'ProxyForward|CacheHit' -benchmem \
+//	    -count 6 -cpu 1,4 . | benchgate -baseline BENCH_proxy.json
+//
+// Exit status 1 means a gated benchmark regressed (or disappeared):
+// allocations above the baseline fail outright, ns/op beyond
+// baseline×tolerance fails. Repeated -count runs are reduced to their
+// minimum before comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"slice/internal/benchgate"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_proxy.json", "baseline JSON to gate against")
+		input     = flag.String("input", "-", "bench output to check (- = stdin)")
+		tolerance = flag.Float64("tolerance", 2.5, "allowed ns/op factor over baseline")
+	)
+	flag.Parse()
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := benchgate.ParseBaseline(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	// Echo the raw bench output while parsing it, so the CI log keeps the
+	// full run next to the verdict table.
+	results, err := benchgate.ParseBench(io.TeeReader(in, os.Stdout))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := benchgate.Check(os.Stdout, base, results, benchgate.Config{Tolerance: *tolerance}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 //	slicebench -exp fig4       # mkdir-switching affinity sweep
 //	slicebench -exp fig5       # SPECsfs97 delivered throughput
 //	slicebench -exp fig6       # SPECsfs97 latency
+//	slicebench -exp live       # live latency breakdown -> BENCH_live.json
 //	slicebench -exp ablation-hash | ablation-threshold |
 //	           ablation-placement | ablation-affinity-policy
 package main
@@ -24,7 +25,9 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+
 		strings.Join(append([]string{"all"}, bench.Experiments...), ", "))
+	liveOut := flag.String("live-out", "BENCH_live.json", "output path for the live experiment's JSON report")
 	flag.Parse()
+	bench.LiveOut = *liveOut
 	if err := bench.Run(*exp, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "slicebench:", err)
 		os.Exit(1)

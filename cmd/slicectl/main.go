@@ -10,9 +10,12 @@
 //	slicectl -connect 127.0.0.1:20490 mv /src/a.txt /src/b.txt
 //	slicectl -connect 127.0.0.1:20490 rm /src/b.txt
 //	slicectl -connect 127.0.0.1:20490 untar /stress 500
+//	slicectl -connect 127.0.0.1:20490 stats
+//	slicectl -connect 127.0.0.1:20490 trace 16
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -23,9 +26,13 @@ import (
 	"slice/internal/client"
 	"slice/internal/ensemble"
 	"slice/internal/fhandle"
+	"slice/internal/netsim"
+	"slice/internal/obs"
+	"slice/internal/oncrpc"
 	"slice/internal/route"
 	"slice/internal/udpgate"
 	"slice/internal/workload"
+	"slice/internal/xdr"
 )
 
 func main() {
@@ -33,17 +40,31 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: slicectl [-connect addr] <ls|mkdir|put|get|stat|mv|rm|rmdir|df|untar> [args]")
+		fmt.Fprintln(os.Stderr, "usage: slicectl [-connect addr] <ls|mkdir|put|get|stat|mv|rm|rmdir|df|untar|stats|trace> [args]")
 		os.Exit(2)
 	}
 
+	// stats and trace talk the absorbed stats RPC program directly to the
+	// virtual server; no mount, no NFS client.
+	statsCmd := args[0] == "stats" || args[0] == "trace"
+
 	var c *client.Client
+	var rc *oncrpc.Client
 	if *connect != "" {
 		conn, err := udpgate.Dial(*connect)
 		if err != nil {
 			log.Fatalf("slicectl: dial: %v", err)
 		}
-		c = client.NewWithConn(conn, client.Config{})
+		if statsCmd {
+			rc = oncrpc.NewClient(conn, netsim.Addr{}, oncrpc.ClientConfig{})
+			defer rc.Close()
+		} else {
+			c = client.NewWithConn(conn, client.Config{})
+			if err := c.Mount(); err != nil {
+				log.Fatalf("slicectl: mount: %v", err)
+			}
+			defer c.Close()
+		}
 	} else {
 		e, err := ensemble.New(ensemble.Config{
 			StorageNodes: 4, DirServers: 2, SmallFileServers: 2,
@@ -58,16 +79,111 @@ func main() {
 			log.Fatalf("slicectl: client: %v", err)
 		}
 		defer c.Close()
-	}
-	if *connect != "" {
-		if err := c.Mount(); err != nil {
-			log.Fatalf("slicectl: mount: %v", err)
+		if statsCmd {
+			// A throwaway ensemble has nothing to report until it serves
+			// traffic; drive a short untar so the demo shows real numbers.
+			if _, err := workload.Untar(c, c.Root(), workload.UntarConfig{Entries: 200}); err != nil {
+				log.Fatalf("slicectl: warmup untar: %v", err)
+			}
+			port, err := e.Net.Bind(netsim.Addr{Host: ensemble.HostClient0 + 99, Port: 901})
+			if err != nil {
+				log.Fatalf("slicectl: bind: %v", err)
+			}
+			rc = oncrpc.NewClient(port, e.Virtual, oncrpc.ClientConfig{})
+			defer rc.Close()
 		}
-		defer c.Close()
 	}
 
-	if err := run(c, args); err != nil {
+	var err error
+	if statsCmd {
+		err = runStats(rc, args)
+	} else {
+		err = run(c, args)
+	}
+	if err != nil {
 		log.Fatalf("slicectl: %v", err)
+	}
+}
+
+// statsCall makes one call to the absorbed stats program and returns the
+// opaque JSON it carries.
+func statsCall(rc *oncrpc.Client, proc, arg uint32) ([]byte, error) {
+	body, err := rc.Call(obs.Program, obs.Version, proc, func(e *xdr.Encoder) {
+		e.PutUint32(arg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return xdr.NewDecoder(body).Opaque()
+}
+
+// runStats executes the stats and trace subcommands against a live
+// ensemble's collector, over the same wire the NFS traffic uses.
+func runStats(rc *oncrpc.Client, args []string) error {
+	switch args[0] {
+	case "stats":
+		raw, err := statsCall(rc, obs.ProcSnapshot, 0)
+		if err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+		var snap obs.ClusterSnapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+		for _, comp := range snap.Components {
+			comp.WriteText(os.Stdout)
+		}
+		return nil
+
+	case "trace":
+		max := 16
+		if len(args) > 1 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("trace: bad span count %q", args[1])
+			}
+			max = n
+		}
+		raw, err := statsCall(rc, obs.ProcTraces, uint32(max))
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		var spans []obs.NamedSpan
+		if err := json.Unmarshal(raw, &spans); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		for _, s := range spans {
+			printSpan(s)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", args[0])
+}
+
+// printSpan renders one archived span: the op, its end-to-end time, the
+// µproxy stage costs, and every hop with the server-side share when the
+// reply carried the trace field.
+func printSpan(s obs.NamedSpan) {
+	total := uint64(0)
+	if s.End > s.Start {
+		total = uint64(s.End - s.Start)
+	}
+	fmt.Printf("%s xid=%d %s total=%s classify=%s route=%s rewrite=%s\n",
+		s.Component, s.ID, obs.OpName(s.Prog, s.Proc), obs.Nanos(total),
+		obs.Nanos(s.ClassifyNS), obs.Nanos(s.RouteNS), obs.Nanos(s.RewriteNS))
+	hops := s.NHops
+	if hops > obs.MaxHops {
+		hops = obs.MaxHops
+	}
+	for _, h := range s.Hops[:hops] {
+		fmt.Printf("  hop %-10s %10s", h.Kind, obs.Nanos(h.TotalNS))
+		if h.ServerNS > 0 {
+			fmt.Printf("  (server %s, wire+queue %s)", obs.Nanos(h.ServerNS), obs.Nanos(h.TotalNS-h.ServerNS))
+		}
+		fmt.Println()
+	}
+	if s.NHops > obs.MaxHops {
+		fmt.Printf("  ... %d more hops not itemized\n", s.NHops-obs.MaxHops)
 	}
 }
 

@@ -109,4 +109,8 @@ func printStats(e *ensemble.Ensemble) {
 		fmt.Printf("[stats] smallfile[%d]: %d reads, %d writes, %d files\n",
 			i, st.Reads, st.Writes, s.Store().NumFiles())
 	}
+	// Latency exposition: every component's op-class histograms plus the
+	// µproxy's stage/hop/e2e breakdowns, in the text format `slicectl
+	// stats` renders from the same collector over the wire.
+	e.Obs.WriteText(os.Stdout)
 }

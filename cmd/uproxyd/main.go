@@ -23,6 +23,7 @@ import (
 
 	"slice/internal/ensemble"
 	"slice/internal/netsim"
+	"slice/internal/obs"
 	"slice/internal/proxy"
 	"slice/internal/route"
 	"slice/internal/udpgate"
@@ -77,6 +78,13 @@ func main() {
 	if e.Coord != nil {
 		coordAddr = e.Coord.Addr()
 	}
+	// The replica µproxy observes into its own registry and trace ring,
+	// registered with the shared collector: `slicectl stats` against
+	// either endpoint shows both proxies side by side.
+	reg2 := obs.NewRegistry("uproxy2")
+	tracer2 := obs.NewTracer(256)
+	e.Obs.AddRegistry(reg2)
+	e.Obs.AddTracer("uproxy2", tracer2)
 	p2 := proxy.New(proxy.Config{
 		Net:               e.Net,
 		Host:              ensemble.HostProxy - 1,
@@ -85,6 +93,8 @@ func main() {
 		Names:             e.NamePolicy,
 		Coord:             coordAddr,
 		WritebackInterval: 2 * time.Second,
+		Obs:               reg2,
+		Tracer:            tracer2,
 	})
 	defer p2.Close()
 
@@ -120,6 +130,7 @@ func main() {
 			dump("µproxy#1", e.Proxy)
 			dump("µproxy#2", p2)
 			dumpPool()
+			e.Obs.WriteText(os.Stdout)
 		}
 	}
 }

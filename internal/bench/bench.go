@@ -18,10 +18,14 @@ import (
 
 // Experiment names accepted by Run.
 var Experiments = []string{
-	"table2", "table3", "fig3", "fig4", "fig5", "fig6",
+	"table2", "table3", "fig3", "fig4", "fig5", "fig6", "live",
 	"ablation-hash", "ablation-threshold", "ablation-placement",
 	"ablation-affinity-policy",
 }
+
+// LiveOut is the default BENCH_live.json path for Run("live", ...);
+// cmd/slicebench overrides it from -live-out.
+var LiveOut = "BENCH_live.json"
 
 // Run executes the named experiment, writing its report to w.
 func Run(name string, w io.Writer) error {
@@ -38,6 +42,8 @@ func Run(name string, w io.Writer) error {
 		return Fig5(w)
 	case "fig6":
 		return Fig6(w)
+	case "live":
+		return Live(w, LiveOut)
 	case "ablation-hash":
 		return AblationHash(w)
 	case "ablation-threshold":

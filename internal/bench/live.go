@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"slice/internal/client"
+	"slice/internal/ensemble"
+	"slice/internal/fhandle"
+	"slice/internal/obs"
+	"slice/internal/route"
+	"slice/internal/workload"
+)
+
+// Live runs three workload phases — untar, an SPECsfs-like op mix, and
+// dd-style bulk I/O — against a live ensemble with the observability
+// layer on, and emits BENCH_live.json: per-op-class latency percentiles
+// and the µproxy's per-hop and per-stage breakdowns, per phase. The
+// same numbers print as a report on w.
+func Live(w io.Writer, outPath string) error {
+	header(w, "Live latency breakdown",
+		"End-to-end op-class percentiles and per-hop attribution from the\n"+
+			"always-on trace/histogram layer, per workload phase.")
+
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: 4, DirServers: 2, SmallFileServers: 2,
+		Coordinator: true, NameKind: route.MkdirSwitching, MkdirP: 0.25,
+	})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	c, err := e.NewClient()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	phases := []struct {
+		name string
+		run  func() (int, error)
+	}{
+		{"untar", func() (int, error) { return liveUntar(c) }},
+		{"sfs-mix", func() (int, error) { return liveSfsMix(c) }},
+		{"dd", func() (int, error) { return liveDD(c) }},
+	}
+
+	report := liveReport{Experiment: "live"}
+	prev := e.Obs.Snapshot()
+	for _, ph := range phases {
+		ops, err := ph.run()
+		if err != nil {
+			return fmt.Errorf("live %s: %w", ph.name, err)
+		}
+		cur := e.Obs.Snapshot()
+		report.Phases = append(report.Phases, livePhase{
+			Name:      ph.name,
+			Ops:       ops,
+			OpClasses: phaseHists(prev, cur, "uproxy", "e2e."),
+			Hops:      phaseHists(prev, cur, "uproxy", "hop."),
+			Stages:    phaseHists(prev, cur, "uproxy", "stage."),
+		})
+		prev = cur
+	}
+
+	for _, ph := range report.Phases {
+		fmt.Fprintf(w, "phase %s (%d ops)\n", ph.Name, ph.Ops)
+		tbl := newTable("op class", "count", "p50", "p95", "p99", "max")
+		for _, name := range sortedHistNames(ph.OpClasses) {
+			h := ph.OpClasses[name]
+			tbl.add(name, fmt.Sprint(h.Count),
+				obs.Nanos(h.P50), obs.Nanos(h.P95), obs.Nanos(h.P99), obs.Nanos(h.Max))
+		}
+		for _, name := range sortedHistNames(ph.Hops) {
+			h := ph.Hops[name]
+			tbl.add(name, fmt.Sprint(h.Count),
+				obs.Nanos(h.P50), obs.Nanos(h.P95), obs.Nanos(h.P99), obs.Nanos(h.Max))
+		}
+		tbl.write(w)
+		fmt.Fprintln(w)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// liveReport is the BENCH_live.json schema.
+type liveReport struct {
+	Experiment string      `json:"experiment"`
+	Phases     []livePhase `json:"phases"`
+}
+
+type livePhase struct {
+	Name      string              `json:"name"`
+	Ops       int                 `json:"ops"`
+	OpClasses map[string]liveHist `json:"op_classes"`
+	Hops      map[string]liveHist `json:"hops"`
+	Stages    map[string]liveHist `json:"stages"`
+}
+
+// liveHist is one histogram's summary, in nanoseconds.
+type liveHist struct {
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50_ns"`
+	P95   uint64 `json:"p95_ns"`
+	P99   uint64 `json:"p99_ns"`
+	Max   uint64 `json:"max_ns"`
+}
+
+// phaseHists summarizes the histograms of one component whose names
+// carry the prefix, over the interval between two cumulative snapshots.
+func phaseHists(prev, cur obs.ClusterSnapshot, component, prefix string) map[string]liveHist {
+	out := make(map[string]liveHist)
+	cc, ok := cur.Component(component)
+	if !ok {
+		return out
+	}
+	pc, _ := prev.Component(component)
+	for name, h := range cc.Hists {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if ph, ok := pc.Hists[name]; ok {
+			h = subSnap(h, ph)
+		}
+		if h.Count() == 0 {
+			continue
+		}
+		out[strings.TrimPrefix(name, prefix)] = liveHist{
+			Count: h.Count(),
+			P50:   h.Percentile(0.50),
+			P95:   h.Percentile(0.95),
+			P99:   h.Percentile(0.99),
+			Max:   h.Max(),
+		}
+	}
+	return out
+}
+
+// subSnap subtracts an earlier cumulative snapshot from a later one,
+// yielding the interval's histogram. Counters only grow, so bucket-wise
+// subtraction is exact.
+func subSnap(cur, prev obs.HistSnapshot) obs.HistSnapshot {
+	var out obs.HistSnapshot
+	for i := range cur.Buckets {
+		out.Buckets[i] = cur.Buckets[i] - prev.Buckets[i]
+	}
+	return out
+}
+
+func sortedHistNames(m map[string]liveHist) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// liveUntar is the name-intensive phase.
+func liveUntar(c *client.Client) (int, error) {
+	st, err := workload.Untar(c, c.Root(), workload.UntarConfig{Entries: 600, Prefix: "live"})
+	if err != nil {
+		return 0, err
+	}
+	return st.NFSOps, nil
+}
+
+// liveSfsMix approximates the SPECsfs97 op mix on live files: a working
+// set of small files exercised with the published lookup/read/write/
+// getattr/create proportions.
+func liveSfsMix(c *client.Client) (int, error) {
+	dir, _, err := c.Mkdir(c.Root(), "sfs", 0o755)
+	if err != nil {
+		return 0, err
+	}
+	const files = 50
+	names := make([]string, files)
+	fhs := make([]fhandle.Handle, files)
+	buf := make([]byte, 4096)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%03d", i)
+		fh, _, err := c.Create(dir, names[i], 0o644, true)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := c.Write(fh, 0, buf, true); err != nil {
+			return 0, err
+		}
+		fhs[i] = fh
+	}
+	ops := 2 * files
+	rng := uint64(1)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for i := 0; i < 1000; i++ {
+		k := next(files)
+		switch p := next(100); {
+		case p < 27: // LOOKUP 27%
+			if _, _, err := c.Lookup(dir, names[k]); err != nil {
+				return ops, err
+			}
+		case p < 45: // READ 18%
+			if _, _, err := c.Read(fhs[k], 0, buf); err != nil {
+				return ops, err
+			}
+		case p < 54: // WRITE 9%
+			if _, err := c.Write(fhs[k], 0, buf, true); err != nil {
+				return ops, err
+			}
+		case p < 65: // GETATTR 11%
+			if _, err := c.GetAttr(fhs[k]); err != nil {
+				return ops, err
+			}
+		case p < 72: // READDIR 7%
+			if _, err := c.ReadDir(dir); err != nil {
+				return ops, err
+			}
+		case p < 74: // CREATE 2%
+			name := fmt.Sprintf("t%04d", i)
+			if _, _, err := c.Create(dir, name, 0o644, false); err != nil {
+				return ops, err
+			}
+		default: // ACCESS and the remaining name ops
+			if _, err := c.Access(fhs[k], 1); err != nil {
+				return ops, err
+			}
+		}
+		ops++
+	}
+	return ops, nil
+}
+
+// liveDD is the bulk-I/O phase: a large sequential unstable write,
+// a commit, and a sequential read back through the striped path.
+func liveDD(c *client.Client) (int, error) {
+	fh, _, err := c.Create(c.Root(), "dd.dat", 0o644, true)
+	if err != nil {
+		return 0, err
+	}
+	const total = 4 << 20
+	chunk := make([]byte, 64<<10)
+	ops := 1
+	for off := 0; off < total; off += len(chunk) {
+		if _, err := c.Write(fh, uint64(off), chunk, false); err != nil {
+			return ops, err
+		}
+		ops++
+	}
+	if _, err := c.Commit(fh); err != nil {
+		return ops, err
+	}
+	ops++
+	for off := 0; off < total; off += len(chunk) {
+		if _, _, err := c.Read(fh, uint64(off), chunk); err != nil {
+			return ops, err
+		}
+		ops++
+	}
+	return ops, nil
+}

@@ -1,0 +1,160 @@
+package benchgate
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: slice
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkProxyForwardParallel     	   20000	      1962 ns/op	      94 B/op	       0 allocs/op
+BenchmarkProxyForwardParallel-4   	   20000	      1979 ns/op	      99 B/op	       0 allocs/op
+BenchmarkProxyForwardSerial       	   20000	      1902 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProxyForwardSerial-4     	   20000	      1745 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProxyForwardSerial       	   20000	      1800 ns/op	       0 B/op	       1 allocs/op
+BenchmarkAttrCacheHitParallel     	 1000000	        66.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAttrCacheHitParallel-4   	 1000000	        72.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNameCacheHitParallel     	 1000000	        71.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNameCacheHitParallel-4   	 1000000	        74.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+const baselineJSON = `{
+  "current": {
+    "BenchmarkProxyForwardParallel": {"cpu1": {"ns_op": 1605, "b_op": 2, "allocs_op": 0}, "cpu4": {"ns_op": 1552, "b_op": 2, "allocs_op": 0}},
+    "BenchmarkProxyForwardSerial":   {"cpu1": {"ns_op": 1425, "b_op": 0, "allocs_op": 0}, "cpu4": {"ns_op": 1656, "b_op": 0, "allocs_op": 0}},
+    "BenchmarkAttrCacheHitParallel": {"cpu1": {"ns_op": 65.55, "b_op": 0, "allocs_op": 0}, "cpu4": {"ns_op": 71.09, "b_op": 0, "allocs_op": 0}},
+    "BenchmarkNameCacheHitParallel": {"cpu1": {"ns_op": 70.52, "b_op": 0, "allocs_op": 0}, "cpu4": {"ns_op": 72.83, "b_op": 0, "allocs_op": 0}}
+  }
+}`
+
+func TestParseBench(t *testing.T) {
+	res, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res["BenchmarkProxyForwardSerial"]["cpu1"]); got != 2 {
+		t.Fatalf("serial cpu1 samples = %d, want 2 (count runs accumulate)", got)
+	}
+	if got := res["BenchmarkProxyForwardParallel"]["cpu4"][0].BOp; got != 99 {
+		t.Fatalf("parallel cpu4 B/op = %v, want 99", got)
+	}
+	if got := res["BenchmarkAttrCacheHitParallel"]["cpu1"][0].NsOp; got != 66.1 {
+		t.Fatalf("attr cpu1 ns/op = %v, want 66.1", got)
+	}
+}
+
+func TestBestTakesMin(t *testing.T) {
+	b := best([]Sample{
+		{NsOp: 1902, BOp: 0, AllocsOp: 1},
+		{NsOp: 1800, BOp: 4, AllocsOp: 0},
+	})
+	if b.NsOp != 1800 || b.BOp != 0 || b.AllocsOp != 0 {
+		t.Fatalf("best = %+v, want min of each metric", b)
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	base, err := ParseBaseline([]byte(baselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Check(&buf, base, res, Config{}); err != nil {
+		t.Fatalf("gate failed on in-budget results: %v\n%s", err, buf.String())
+	}
+}
+
+func TestGateFailsOnAllocInflation(t *testing.T) {
+	base, err := ParseBaseline([]byte(baselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated := strings.ReplaceAll(sampleOutput,
+		"1745 ns/op	       0 B/op	       0 allocs/op",
+		"1745 ns/op	      48 B/op	       3 allocs/op")
+	inflated = strings.ReplaceAll(inflated,
+		"1902 ns/op	       0 B/op	       0 allocs/op",
+		"1902 ns/op	      48 B/op	       3 allocs/op")
+	inflated = strings.ReplaceAll(inflated,
+		"1800 ns/op	       0 B/op	       1 allocs/op",
+		"1800 ns/op	      48 B/op	       3 allocs/op")
+	res, err := ParseBench(strings.NewReader(inflated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = Check(&buf, base, res, Config{})
+	if err == nil {
+		t.Fatalf("gate passed inflated allocations:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "allocs/op 3 > 0") {
+		t.Fatalf("failure does not name the alloc regression: %v", err)
+	}
+}
+
+func TestGateFailsOnLatencyBlowup(t *testing.T) {
+	base, err := ParseBaseline([]byte(baselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := strings.ReplaceAll(sampleOutput, "1962 ns/op", "9900 ns/op")
+	res, err := ParseBench(strings.NewReader(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Check(&buf, base, res, Config{Tolerance: 2.5}); err == nil {
+		t.Fatalf("gate passed a 5x latency regression:\n%s", buf.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base, err := ParseBaseline([]byte(baselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := strings.ReplaceAll(sampleOutput, "BenchmarkNameCacheHitParallel", "BenchmarkRenamedAway")
+	res, err := ParseBench(strings.NewReader(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Check(&buf, base, res, Config{}); err == nil ||
+		!strings.Contains(err.Error(), "not measured") {
+		t.Fatalf("gate did not flag a gated benchmark that vanished: %v", err)
+	}
+}
+
+// TestRealBaselineParses guards the checked-in BENCH_proxy.json against
+// schema drift: the gate must always be able to load it.
+func TestRealBaselineParses(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_proxy.json")
+	if err != nil {
+		t.Skipf("BENCH_proxy.json: %v", err)
+	}
+	base, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BenchmarkProxyForwardSerial", "BenchmarkProxyForwardParallel"} {
+		m, ok := base.Current[name]
+		if !ok {
+			t.Fatalf("baseline missing %s", name)
+		}
+		for cpu, want := range m {
+			if want.AllocsOp != 0 {
+				t.Errorf("%s/%s: baseline allocs_op %v, the forward path budget is 0",
+					name, cpu, want.AllocsOp)
+			}
+		}
+	}
+}

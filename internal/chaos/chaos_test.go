@@ -217,6 +217,7 @@ func TestDirServerRestartFromWALMidUntar(t *testing.T) {
 	defer c.Close()
 
 	crashAt := make(chan struct{})
+	crashed := make(chan struct{})
 	var once bool
 	done := make(chan struct{})
 	var acked []Entry
@@ -229,7 +230,11 @@ func TestDirServerRestartFromWALMidUntar(t *testing.T) {
 			OnEntry: func(n int) {
 				if n == 12 && !once {
 					once = true
+					// Pause until the crash lands: otherwise a fast
+					// machine finishes the whole untar before CrashDir
+					// runs and the test exercises nothing.
 					close(crashAt)
+					<-crashed
 				}
 			},
 		})
@@ -237,7 +242,17 @@ func TestDirServerRestartFromWALMidUntar(t *testing.T) {
 
 	<-crashAt
 	ch.CrashDir(1)
-	time.Sleep(50 * time.Millisecond) // let requests to the dead site time out mid-flight
+	close(crashed)
+	// Hold the dead window open until the workload demonstrably hit it:
+	// the untar stalls on the first op routed to the dead site and
+	// retransmits. A fixed sleep races the workload on fast machines —
+	// the restart could land before any request ever timed out.
+	for deadline := time.Now().Add(10 * time.Second); c.Retransmissions() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("untar never hit the crashed directory server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	if _, err := ch.RestartDir(1, nil, 70); err != nil {
 		t.Fatalf("dir restart from WAL: %v", err)
 	}

@@ -25,6 +25,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/route"
 	"slice/internal/wal"
@@ -184,6 +185,16 @@ func (c *Coordinator) start(port *netsim.Port) {
 
 // Addr returns the coordinator's address.
 func (c *Coordinator) Addr() netsim.Addr { return c.srv.Addr() }
+
+// SetObs attaches a histogram registry recording per-procedure handler
+// latency (nil detaches).
+func (c *Coordinator) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		c.srv.SetObserver(nil)
+		return
+	}
+	c.srv.SetObserver(reg.ObserveRPC)
+}
 
 // Stats returns a snapshot of the coordinator counters.
 func (c *Coordinator) Stats() Stats {

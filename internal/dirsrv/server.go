@@ -7,6 +7,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/route"
 	"slice/internal/wal"
@@ -121,6 +122,17 @@ func (s *Server) Site() uint32 { return s.site }
 
 // Addr returns the server's service address.
 func (s *Server) Addr() netsim.Addr { return s.srv.Addr() }
+
+// SetObs attaches a histogram registry recording per-procedure handler
+// latency (nil detaches). A restarted server is re-attached to the same
+// registry, so counts accumulate across failovers.
+func (s *Server) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.srv.SetObserver(nil)
+		return
+	}
+	s.srv.SetObserver(reg.ObserveRPC)
+}
 
 // Log returns the server's journal (for stats and failover tests).
 func (s *Server) Log() *wal.Log { return s.log }

@@ -83,6 +83,9 @@ func (c *Chaos) RestartCoordinator(port uint16) (*coord.Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.e.obsCoord != nil {
+		co.SetObs(c.e.obsCoord)
+	}
 	c.e.Coord = co
 	c.e.Proxy.SetCoord(addr)
 	return co, nil
@@ -133,6 +136,9 @@ func (c *Chaos) RestartDir(i int, snapshot []byte, host uint32) (*dirsrv.Server,
 		return nil, err
 	}
 	srv.SetRoot(c.e.Root)
+	// The restarted server keeps the original registry: counts accumulate
+	// across the failover rather than resetting with the process.
+	srv.SetObs(c.e.obsDirs[i])
 	c.e.Dirs[i] = srv
 	rebind(c.e.DirTable, oldAddr, addr)
 	return srv, nil
@@ -171,6 +177,7 @@ func (c *Chaos) RestartSmall(i int, host uint32) (*smallfile.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	srv.SetObs(c.e.obsSmall[i])
 	c.e.Small[i] = srv
 	rebind(c.e.SmallTable, oldAddr, addr)
 	return srv, nil

@@ -14,6 +14,7 @@ import (
 	"slice/internal/dirsrv"
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/proxy"
 	"slice/internal/route"
@@ -97,6 +98,19 @@ type Ensemble struct {
 	IOPolicy     *route.IOPolicy
 	NamePolicy   *route.NamePolicy
 
+	// Obs aggregates every component's histograms; Tracer archives the
+	// µproxy's per-request spans. Both are always on — recording is one
+	// atomic add, and chaos restarts re-register the same registries so
+	// counts accumulate across failovers.
+	Obs    *obs.Collector
+	Tracer *obs.Tracer
+
+	obsProxy   *obs.Registry
+	obsCoord   *obs.Registry
+	obsDirs    []*obs.Registry
+	obsSmall   []*obs.Registry
+	obsStorage []*obs.Registry
+
 	Root       fhandle.Handle
 	cfg        Config
 	nextClient uint32
@@ -113,8 +127,11 @@ func New(cfg Config) (*Ensemble, error) {
 	e := &Ensemble{
 		Net:     netsim.New(cfg.Net),
 		Virtual: netsim.Addr{Host: HostVirtual, Port: ServicePort},
+		Obs:     obs.NewCollector(),
+		Tracer:  obs.NewTracer(512),
 		cfg:     cfg,
 	}
+	e.Obs.AddTracer("uproxy", e.Tracer)
 
 	// Storage nodes.
 	var storageAddrs []netsim.Addr
@@ -128,6 +145,10 @@ func New(cfg Config) (*Ensemble, error) {
 		if len(cfg.CapabilityKey) > 0 {
 			node.RequireCapability(cfg.CapabilityKey)
 		}
+		reg := obs.NewRegistry(fmt.Sprintf("storage[%d]", i))
+		node.SetObs(reg)
+		e.Obs.AddRegistry(reg)
+		e.obsStorage = append(e.obsStorage, reg)
 		e.Storage = append(e.Storage, node)
 		storageAddrs = append(storageAddrs, addr)
 	}
@@ -152,7 +173,12 @@ func New(cfg Config) (*Ensemble, error) {
 		backing := e.Storage[i%len(e.Storage)].Store()
 		backID := storage.ObjectID(0x5F<<56 | uint64(i))
 		st := smallfile.NewStore(backing, backID, log)
-		e.Small = append(e.Small, smallfile.NewServer(port, st))
+		srv := smallfile.NewServer(port, st)
+		reg := obs.NewRegistry(fmt.Sprintf("smallfile[%d]", i))
+		srv.SetObs(reg)
+		e.Obs.AddRegistry(reg)
+		e.obsSmall = append(e.obsSmall, reg)
+		e.Small = append(e.Small, srv)
 		e.SmallLogs = append(e.SmallLogs, logStore)
 		smallAddrs = append(smallAddrs, addr)
 	}
@@ -181,6 +207,9 @@ func New(cfg Config) (*Ensemble, error) {
 			ProbeAfter: cfg.CoordProbeAfter,
 			CapKey:     cfg.CapabilityKey,
 		})
+		e.obsCoord = obs.NewRegistry("coord")
+		e.Coord.SetObs(e.obsCoord)
+		e.Obs.AddRegistry(e.obsCoord)
 	}
 
 	// Directory servers.
@@ -199,7 +228,7 @@ func New(cfg Config) (*Ensemble, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.Dirs = append(e.Dirs, dirsrv.New(port, dirsrv.Config{
+		d := dirsrv.New(port, dirsrv.Config{
 			Site:         uint32(i),
 			Volume:       1,
 			Kind:         cfg.NameKind,
@@ -210,7 +239,12 @@ func New(cfg Config) (*Ensemble, error) {
 			Clock:        cfg.Clock,
 			MirrorDegree: cfg.MirrorDegree,
 			UseMaps:      cfg.UseBlockMaps && cfg.Coordinator,
-		}))
+		})
+		reg := obs.NewRegistry(fmt.Sprintf("dirsrv[%d]", i))
+		d.SetObs(reg)
+		e.Obs.AddRegistry(reg)
+		e.obsDirs = append(e.obsDirs, reg)
+		e.Dirs = append(e.Dirs, d)
 		e.DirLogs = append(e.DirLogs, logStore)
 	}
 
@@ -242,6 +276,8 @@ func New(cfg Config) (*Ensemble, error) {
 	if e.Coord != nil {
 		coordAddr = e.Coord.Addr()
 	}
+	e.obsProxy = obs.NewRegistry("uproxy")
+	e.Obs.AddRegistry(e.obsProxy)
 	e.Proxy = proxy.New(proxy.Config{
 		Net:               e.Net,
 		Host:              HostProxy,
@@ -251,8 +287,27 @@ func New(cfg Config) (*Ensemble, error) {
 		Coord:             coordAddr,
 		WritebackInterval: cfg.WritebackInterval,
 		CapKey:            cfg.CapabilityKey,
+		Obs:               e.obsProxy,
+		Tracer:            e.Tracer,
+		StatsFn:           e.serveStats,
 	})
 	return e, nil
+}
+
+// serveStats answers the absorbed stats RPC program (obs.Program) from
+// the ensemble's collector: snapshots and recent traces as opaque JSON.
+func (e *Ensemble) serveStats(proc, arg uint32) []byte {
+	switch proc {
+	case obs.ProcSnapshot:
+		return e.Obs.SnapshotJSON()
+	case obs.ProcTraces:
+		max := int(arg)
+		if max <= 0 || max > 256 {
+			max = 32
+		}
+		return e.Obs.TracesJSON(max)
+	}
+	return nil
 }
 
 // NewClient creates and mounts a client on a fresh host.

@@ -81,13 +81,17 @@ func EncodeReply(xid, accept uint32, res func(*xdr.Encoder)) []byte {
 	return e.Bytes()
 }
 
-// Call is a decoded call header plus its argument body.
+// Call is a decoded call header plus its argument body. When the call
+// carried the optional trace trailer (see trace.go), the server strips
+// it before dispatch and records the trace id here.
 type Call struct {
 	Xid     uint32
 	Program uint32
 	Version uint32
 	Proc    uint32
 	Body    []byte // aliases the datagram payload
+	Trace   uint64 // trace id from the call trailer, if Traced
+	Traced  bool   // the call carried a trace trailer
 }
 
 // Reply is a decoded reply header plus its result body.
@@ -335,6 +339,18 @@ func (c *Client) recvLoop() {
 // Call issues proc of prog/vers with the encoded args and returns the
 // reply body. It retransmits on timeout.
 func (c *Client) Call(prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte, error) {
+	return c.call(prog, vers, proc, args, 0, false)
+}
+
+// CallTraced issues a call carrying the optional trace trailer, tying
+// the server-side work to the originating request's trace id. Servers
+// that predate the trace field ignore the trailer; the reply body may
+// end with a reply trailer readable via PeekReplyTrace.
+func (c *Client) CallTraced(traceID uint64, prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte, error) {
+	return c.call(prog, vers, proc, args, traceID, true)
+}
+
+func (c *Client) call(prog, vers, proc uint32, args func(*xdr.Encoder), traceID uint64, traced bool) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -353,6 +369,9 @@ func (c *Client) Call(prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte,
 	}()
 
 	payload := EncodeCall(xid, prog, vers, proc, args)
+	if traced {
+		payload = AppendCallTrace(payload, traceID)
+	}
 	timeout := c.cfg.Timeout
 	dst := c.target()
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
@@ -417,10 +436,17 @@ type drcKey struct {
 	xid  uint32
 }
 
+// ServerObserver is notified after each handled call with the call's
+// identity and the handler's wall time. It runs on the per-call
+// goroutine and must be cheap and thread-safe (the obs wiring records
+// one histogram sample, a single atomic add).
+type ServerObserver func(prog, vers, proc uint32, handlerNS uint64)
+
 // Server accepts RPC calls on a port and dispatches them to a handler.
 type Server struct {
 	port    Conn
 	handler Handler
+	obs     atomic.Pointer[ServerObserver]
 
 	mu       sync.Mutex
 	drc      map[drcKey]int // key -> index into drcRing
@@ -454,6 +480,18 @@ func NewServer(port Conn, handler Handler) *Server {
 // Addr returns the server's bound address.
 func (s *Server) Addr() netsim.Addr { return s.port.Addr() }
 
+// SetObserver installs (or, with nil, removes) the server's observer.
+// While an observer is installed the server also times every handler and
+// appends the reply trace trailer, so interposed elements can split this
+// hop's round-trip into server time and wire time.
+func (s *Server) SetObserver(fn ServerObserver) {
+	if fn == nil {
+		s.obs.Store(nil)
+		return
+	}
+	s.obs.Store(&fn)
+}
+
 // Close stops the server and waits for in-flight handlers. Idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
@@ -480,6 +518,11 @@ func (s *Server) serveLoop() {
 			netsim.FreeBuf(d)
 			continue
 		}
+		if id, body, ok := SplitCallTrace(call.Body); ok {
+			call.Body = body
+			call.Trace = id
+			call.Traced = true
+		}
 		key := drcKey{host: h.Src, xid: call.Xid}
 
 		s.mu.Lock()
@@ -504,8 +547,24 @@ func (s *Server) serveLoop() {
 		s.wg.Add(1)
 		go func(call Call, from netsim.Addr, key drcKey, d []byte) {
 			defer s.wg.Done()
+			obsFn := s.obs.Load()
+			timed := obsFn != nil || call.Traced
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			res, accept := s.handler.ServeRPC(call, from)
+			var handlerNS uint64
+			if timed {
+				handlerNS = uint64(time.Since(t0))
+			}
+			if obsFn != nil {
+				(*obsFn)(call.Program, call.Version, call.Proc, handlerNS)
+			}
 			reply := EncodeReply(call.Xid, accept, res)
+			if timed {
+				reply = AppendReplyTrace(reply, call.Trace, handlerNS)
+			}
 			// call.Args (and possibly res) alias the request datagram;
 			// EncodeReply copied everything out, so it can go back now.
 			netsim.FreeBuf(d)

@@ -8,6 +8,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/storage"
 	"slice/internal/xdr"
@@ -22,8 +23,9 @@ import (
 // coordinator times out, probes, and finishes the idempotent tail itself.
 
 // coordIntend declares an intention. With no coordinator configured it
-// returns id 0, which Complete ignores.
-func (p *Proxy) coordIntend(op uint32, fh fhandle.Handle, size uint64) uint64 {
+// returns id 0, which Complete ignores. The RPC is attributed to span sp
+// as a coordinator hop.
+func (p *Proxy) coordIntend(sp *obs.Span, op uint32, fh fhandle.Handle, size uint64) uint64 {
 	if p.coord().IsZero() {
 		return 0
 	}
@@ -31,7 +33,7 @@ func (p *Proxy) coordIntend(op uint32, fh fhandle.Handle, size uint64) uint64 {
 	if err != nil {
 		return 0
 	}
-	body, err := c.Call(coord.Program, coord.Version, coord.ProcIntend, func(e *xdr.Encoder) {
+	body, err := p.obsCall(sp, obs.HopCoord, c, coord.Program, coord.Version, coord.ProcIntend, func(e *xdr.Encoder) {
 		e.PutUint32(op)
 		fh.Encode(e)
 		e.PutUint64(size)
@@ -51,7 +53,7 @@ func (p *Proxy) coordIntend(op uint32, fh fhandle.Handle, size uint64) uint64 {
 }
 
 // coordComplete clears an intention.
-func (p *Proxy) coordComplete(id uint64) {
+func (p *Proxy) coordComplete(sp *obs.Span, id uint64) {
 	if id == 0 || p.coord().IsZero() {
 		return
 	}
@@ -59,18 +61,18 @@ func (p *Proxy) coordComplete(id uint64) {
 	if err != nil {
 		return
 	}
-	_, _ = c.Call(coord.Program, coord.Version, coord.ProcComplete, func(e *xdr.Encoder) {
+	_, _ = p.obsCall(sp, obs.HopCoord, c, coord.Program, coord.Version, coord.ProcComplete, func(e *xdr.Encoder) {
 		e.PutUint64(id)
 	})
 }
 
 // coordGetMap fetches a block-map fragment.
-func (p *Proxy) coordGetMap(fh fhandle.Handle, first uint64, count uint32) ([]uint32, error) {
+func (p *Proxy) coordGetMap(sp *obs.Span, fh fhandle.Handle, first uint64, count uint32) ([]uint32, error) {
 	c, err := p.coordRPC()
 	if err != nil {
 		return nil, err
 	}
-	body, err := c.Call(coord.Program, coord.Version, coord.ProcGetMap, func(e *xdr.Encoder) {
+	body, err := p.obsCall(sp, obs.HopCoord, c, coord.Program, coord.Version, coord.ProcGetMap, func(e *xdr.Encoder) {
 		fh.Encode(e)
 		e.PutUint64(first)
 		e.PutUint32(count)
@@ -116,14 +118,14 @@ func (p *Proxy) capFH(fh fhandle.Handle) fhandle.Handle {
 // matters to callers holding an intention: a site that could not be
 // reached still holds data, so the intention must stay pending for the
 // coordinator to finish.
-func (p *Proxy) objOp(addr netsim.Addr, proc uint32, fh fhandle.Handle, extra func(*xdr.Encoder)) error {
+func (p *Proxy) objOp(sp *obs.Span, addr netsim.Addr, proc uint32, fh fhandle.Handle, extra func(*xdr.Encoder)) error {
 	c, err := p.rpc(addr)
 	if err != nil {
 		return err
 	}
 	p.st.initiated.Add(1)
 	capped := p.capFH(fh)
-	_, err = c.Call(storage.ObjProgram, storage.ObjVersion, proc, func(e *xdr.Encoder) {
+	_, err = p.obsCall(sp, p.hopForSite(addr), c, storage.ObjProgram, storage.ObjVersion, proc, func(e *xdr.Encoder) {
 		capped.Encode(e)
 		if extra != nil {
 			extra(e)
@@ -198,7 +200,7 @@ func (p *Proxy) resolveChild(dir fhandle.Handle, name string) (fhandle.Handle, b
 		return fhandle.Handle{}, false
 	}
 	var res nfsproto.LookupRes
-	if err := p.nfsCall(addr, nfsproto.ProcLookup, &nfsproto.LookupArgs{Dir: dir, Name: name}, &res); err != nil {
+	if err := p.nfsCall(nil, obs.HopDirsrv, addr, nfsproto.ProcLookup, &nfsproto.LookupArgs{Dir: dir, Name: name}, &res); err != nil {
 		return fhandle.Handle{}, false
 	}
 	if res.Status != nfsproto.OK {
@@ -218,12 +220,14 @@ func (p *Proxy) resolveChild(dir fhandle.Handle, name string) (fhandle.Handle, b
 func (p *Proxy) routeRemove(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 	addr, err := p.cfg.Names.AddrFor(&pd.info)
 	if err != nil {
-		putPending(pd)
+		p.dropPending(pd)
 		return p.consumeDrop(d)
 	}
 	dir, name := pd.info.FH, pd.info.Name
 	child, known := p.resolveChild(dir, name)
 
+	// The hook runs on the response goroutine before the span is closed,
+	// so its RPCs are attributed to the request's span via pd.
 	pd.onOK = func() {
 		p.names.drop(dir, name)
 		if !known || child.Type == uint8(attr.TypeDir) {
@@ -237,15 +241,15 @@ func (p *Proxy) routeRemove(d []byte, key pendKey, pd *pendingReq) netsim.Verdic
 		var ga nfsproto.GetAttrRes
 		gaInfo := nfsproto.RequestInfo{Proc: nfsproto.ProcGetAttr, FH: child}
 		if addr, err := p.cfg.Names.AddrFor(&gaInfo); err == nil {
-			if err := p.nfsCall(addr, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: child}, &ga); err == nil && ga.Status == nfsproto.OK {
+			if err := p.nfsCall(pd.span, obs.HopDirsrv, addr, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: child}, &ga); err == nil && ga.Status == nfsproto.OK {
 				p.observeAttr(child, ga.Attr)
 				return // still linked: keep the data
 			}
 		}
-		id := p.coordIntend(coord.OpRemove, child, 0)
+		id := p.coordIntend(pd.span, coord.OpRemove, child, 0)
 		cleared := true
 		for _, site := range p.dataSites(child) {
-			if err := p.objOp(site, storage.ObjProcRemove, child, nil); err != nil {
+			if err := p.objOp(pd.span, site, storage.ObjProcRemove, child, nil); err != nil {
 				cleared = false
 			}
 		}
@@ -253,7 +257,7 @@ func (p *Proxy) routeRemove(d []byte, key pendKey, pd *pendingReq) netsim.Verdic
 		// intention stays pending and the coordinator's probe finishes
 		// the idempotent remove on all sites (§4.2) — never an orphan.
 		if cleared {
-			p.coordComplete(id)
+			p.coordComplete(pd.span, id)
 		}
 		p.attrs.forget(child)
 		p.maps.forget(child)
@@ -266,21 +270,21 @@ func (p *Proxy) routeRemove(d []byte, key pendKey, pd *pendingReq) netsim.Verdic
 func (p *Proxy) routeSetAttr(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 	var args nfsproto.SetAttrArgs
 	if err := args.Decode(xdr.NewDecoder(netsim.Payload(d)[oncrpc.CallHeader:])); err != nil {
-		putPending(pd)
+		p.dropPending(pd)
 		return p.consumeDrop(d)
 	}
 	addr, err := p.cfg.Names.AddrFor(&pd.info)
 	if err != nil {
-		putPending(pd)
+		p.dropPending(pd)
 		return p.consumeDrop(d)
 	}
 	if args.Sattr.SetSize {
 		fh, size := args.FH, args.Sattr.Size
 		pd.onOK = func() {
-			id := p.coordIntend(coord.OpTruncate, fh, size)
+			id := p.coordIntend(pd.span, coord.OpTruncate, fh, size)
 			cleared := true
 			for _, site := range p.dataSites(fh) {
-				if err := p.objOp(site, storage.ObjProcTruncate, fh, func(e *xdr.Encoder) {
+				if err := p.objOp(pd.span, site, storage.ObjProcTruncate, fh, func(e *xdr.Encoder) {
 					e.PutUint64(size)
 				}); err != nil {
 					cleared = false
@@ -289,7 +293,7 @@ func (p *Proxy) routeSetAttr(d []byte, key pendKey, pd *pendingReq) netsim.Verdi
 			// As with remove: an unreached site keeps the intention
 			// pending so the coordinator finishes the truncate itself.
 			if cleared {
-				p.coordComplete(id)
+				p.coordComplete(pd.span, id)
 			}
 			now := attr.FromGo(time.Now())
 			p.updateAttr(fh, func(a *attr.Attr) {
@@ -307,16 +311,28 @@ func (p *Proxy) routeSetAttr(d []byte, key pendKey, pd *pendingReq) netsim.Verdi
 // file's dirty attributes to the directory server, declares a commit
 // intention, commits every involved data site, clears the intention, and
 // synthesizes the reply. This is the consistent write commitment of §4.2.
-func (p *Proxy) absorbCommit(client netsim.Addr, xid uint32, info nfsproto.RequestInfo) {
+// The span (nil when tracing is off) collects every RPC of the chain and
+// is closed — and the absorbed op's end-to-end latency recorded — when
+// the reply is injected.
+func (p *Proxy) absorbCommit(client netsim.Addr, xid uint32, info nfsproto.RequestInfo, sp *obs.Span, startNS int64) {
 	fh := info.FH
-	p.pushAttrs(fh)
+	defer func() {
+		endNS := time.Now().UnixNano()
+		if p.hists != nil && startNS != 0 {
+			p.hists.e2e[nfsproto.ProcCommit].Record(uint64(endNS - startNS))
+		}
+		if sp != nil {
+			p.tracer.Finish(sp, endNS)
+		}
+	}()
+	p.pushAttrs(sp, fh)
 
-	id := p.coordIntend(coord.OpCommit, fh, uint64(info.Count))
+	id := p.coordIntend(sp, coord.OpCommit, fh, uint64(info.Count))
 	var verf uint64
 	committed := true
 	for _, site := range p.dataSites(fh) {
 		var cres nfsproto.CommitRes
-		if err := p.nfsCall(site, nfsproto.ProcCommit, &nfsproto.CommitArgs{
+		if err := p.nfsCall(sp, p.hopForSite(site), site, nfsproto.ProcCommit, &nfsproto.CommitArgs{
 			FH: p.capFH(fh), Offset: info.Offset, Count: info.Count,
 		}, &cres); err == nil && cres.Status == nfsproto.OK {
 			verf ^= cres.Verf
@@ -331,7 +347,7 @@ func (p *Proxy) absorbCommit(client netsim.Addr, xid uint32, info nfsproto.Reque
 	// an intention there is no such guarantee: fail the commit so the
 	// client retains and retries its uncommitted writes.
 	if committed {
-		p.coordComplete(id)
+		p.coordComplete(sp, id)
 	} else if id == 0 {
 		fail := nfsproto.CommitRes{Status: nfsproto.ErrIO}
 		payload := oncrpc.EncodeReply(xid, oncrpc.AcceptSuccess, fail.Encode)
@@ -363,7 +379,7 @@ func (p *Proxy) absorbCommit(client netsim.Addr, xid uint32, info nfsproto.Reque
 // pushAttrs writes the file's dirty cached attributes back to its
 // directory server with SETATTR (§4.1: on commit interception and on
 // eviction).
-func (p *Proxy) pushAttrs(fh fhandle.Handle) {
+func (p *Proxy) pushAttrs(sp *obs.Span, fh fhandle.Handle) {
 	at, ok := p.attrs.takeDirty(fh)
 	if !ok {
 		return
@@ -380,7 +396,7 @@ func (p *Proxy) pushAttrs(fh fhandle.Handle) {
 		SetAtime: true, Atime: at.Atime,
 	}}
 	var res nfsproto.SetAttrRes
-	if err := p.nfsCall(addr, nfsproto.ProcSetAttr, &args, &res); err != nil || res.Status != nfsproto.OK {
+	if err := p.nfsCall(sp, obs.HopDirsrv, addr, nfsproto.ProcSetAttr, &args, &res); err != nil || res.Status != nfsproto.OK {
 		p.attrs.markDirty(fh)
 	}
 }
@@ -410,5 +426,5 @@ func (p *Proxy) pushOne(fh fhandle.Handle, at attr.Attr) {
 		SetAtime: true, Atime: at.Atime,
 	}}
 	var res nfsproto.SetAttrRes
-	_ = p.nfsCall(addr, nfsproto.ProcSetAttr, &args, &res)
+	_ = p.nfsCall(nil, obs.HopDirsrv, addr, nfsproto.ProcSetAttr, &args, &res)
 }

@@ -9,6 +9,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/route"
 	"slice/internal/xdr"
@@ -56,6 +57,19 @@ type Config struct {
 	// model. Clients that bypass the µproxy cannot mint capabilities and
 	// are refused by the storage nodes.
 	CapKey []byte
+	// Obs, when set, receives the µproxy's per-stage, per-hop, and
+	// end-to-end latency histograms. Histogram pointers are resolved at
+	// construction; recording is one atomic add per sample.
+	Obs *obs.Registry
+	// Tracer, when set, archives a pooled per-request span for every
+	// routed request: per-stage µproxy costs plus per-hop round-trip and
+	// server time.
+	Tracer *obs.Tracer
+	// StatsFn, when set, answers the stats program (obs.Program) sent to
+	// the virtual server: the µproxy absorbs the call and replies with
+	// the returned bytes as an opaque result (nil = proc unavailable).
+	// The ensemble points this at its cluster-wide obs.Collector.
+	StatsFn func(proc, arg uint32) []byte
 }
 
 // pendKey identifies a pending request record: the client endpoint plus
@@ -107,6 +121,15 @@ type pendingReq struct {
 	// orchestration hooks use it. Responses with a hook are finished on
 	// a helper goroutine because hooks issue blocking RPCs.
 	onOK func()
+
+	// Observability state (see obs.go). All of it is written before the
+	// record is published to the pending table; after pairing, the
+	// response path owns the record exclusively.
+	span    *obs.Span   // pooled trace span, nil when tracing is off
+	startNS int64       // request intercept time (UnixNano)
+	sentAt  int64       // forward time (UnixNano), 0 after hop recorded
+	clsNS   uint64      // classify-stage cost
+	hop     obs.HopKind // where the request was forwarded
 }
 
 var pendPool = sync.Pool{New: func() any { return new(pendingReq) }}
@@ -154,6 +177,8 @@ type Proxy struct {
 
 	tapTok    *netsim.TapToken
 	st        stageCounters
+	hists     *proxyHists // nil when cfg.Obs is nil
+	tracer    *obs.Tracer // nil when cfg.Tracer is nil
 	stopCh    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -168,6 +193,10 @@ func New(cfg Config) *Proxy {
 		maps:    newMapCache(),
 		clients: make(map[netsim.Addr]*oncrpc.Client),
 		stopCh:  make(chan struct{}),
+		tracer:  cfg.Tracer,
+	}
+	if cfg.Obs != nil {
+		p.hists = newProxyHists(cfg.Obs)
 	}
 	coordAddr := cfg.Coord
 	p.coordAddr.Store(&coordAddr)
@@ -390,7 +419,8 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 	s.mu.Unlock()
 
 	if call.Program == mountProgram {
-		p.st.decodeNS.Add(uint64(time.Since(t0)))
+		cls := time.Since(t0)
+		p.st.decodeNS.Add(uint64(cls))
 		addr, err := p.cfg.Names.Dirs.Lookup(p.cfg.MountSite)
 		if err != nil {
 			return p.consumeDrop(d)
@@ -398,7 +428,32 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 		pd := getPending()
 		pd.prog = call.Program
 		pd.expect = 1
+		pd.hop = obs.HopMount
+		p.beginObs(pd, call.Xid, call.Proc, t0, cls)
 		return p.forward(d, key, pd, addr)
+	}
+	if call.Program == obs.Program {
+		// The stats program is absorbed: the µproxy answers it from the
+		// ensemble's collector so slicectl aggregates a live deployment
+		// over the same wire the NFS traffic uses. Snapshotting walks
+		// registries under their locks, so it runs off the sender's
+		// goroutine.
+		p.st.decodeNS.Add(uint64(time.Since(t0)))
+		if p.cfg.StatsFn == nil {
+			return p.consumeDrop(d)
+		}
+		var arg uint32
+		if len(call.Body) >= 4 {
+			arg = binary.BigEndian.Uint32(call.Body)
+		}
+		src, xid, proc := h.Src, call.Xid, call.Proc
+		netsim.FreeBuf(d)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.answerStats(src, xid, proc, arg)
+		}()
+		return netsim.Consumed
 	}
 	if call.Program != nfsproto.Program {
 		return p.consumeDrop(d)
@@ -406,7 +461,8 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 
 	proc := nfsproto.Proc(call.Proc)
 	info, err := nfsproto.ParseCall(proc, call.Body)
-	p.st.decodeNS.Add(uint64(time.Since(t0)))
+	cls := time.Since(t0)
+	p.st.decodeNS.Add(uint64(cls))
 	if err != nil {
 		return p.consumeDrop(d)
 	}
@@ -416,13 +472,17 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 	pd.prog = call.Program
 	pd.info = info
 	pd.expect = 1
+	p.beginObs(pd, call.Xid, call.Proc, t0, cls)
 
 	switch proc {
 	case nfsproto.ProcCommit:
 		// Commit is absorbed: the µproxy coordinates multi-site commit
 		// itself and answers the client (§3.3.2, §4.1). That is a chain
 		// of blocking RPCs, so it runs off the sender's goroutine; the
-		// request datagram itself is no longer needed.
+		// request datagram itself is no longer needed. The span, if any,
+		// moves to the absorbing goroutine with the request identity.
+		sp, startNS := pd.span, pd.startNS
+		pd.span = nil
 		putPending(pd)
 		netsim.FreeBuf(d)
 		src, xid := h.Src, call.Xid
@@ -430,13 +490,14 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.absorbCommit(src, xid, ci)
+			p.absorbCommit(src, xid, ci, sp, startNS)
 		}()
 		return netsim.Consumed
 	case nfsproto.ProcRemove:
 		// Remove orchestration resolves the victim's handle first, which
 		// may issue a LOOKUP of its own: run it off the sender's
 		// goroutine, which owns d until it is forwarded.
+		pd.hop = obs.HopDirsrv
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
@@ -444,6 +505,7 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 		}()
 		return netsim.Consumed
 	case nfsproto.ProcSetAttr:
+		pd.hop = obs.HopDirsrv
 		return p.routeSetAttr(d, key, pd)
 	case nfsproto.ProcRead, nfsproto.ProcWrite:
 		if info.FH.Mapped() && !p.coord().IsZero() {
@@ -461,10 +523,11 @@ func (p *Proxy) handleRequest(d []byte) netsim.Verdict {
 		t1 := time.Now()
 		addr, err := p.cfg.Names.AddrFor(&pd.info)
 		if err != nil {
-			putPending(pd)
+			p.dropPending(pd)
 			return p.consumeDrop(d)
 		}
 		p.st.rewriteNS.Add(uint64(time.Since(t1)))
+		pd.hop = obs.HopDirsrv
 		return p.forward(d, key, pd, addr)
 	}
 }
@@ -479,10 +542,11 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 	if io.SmallFileTarget(info.Offset) {
 		addr, err := io.SmallFileServer(info.FH)
 		if err != nil {
-			putPending(pd)
+			p.dropPending(pd)
 			return p.consumeDrop(d)
 		}
 		p.st.rewriteNS.Add(uint64(time.Since(t0)))
+		pd.hop = obs.HopSmallfile
 		return p.forward(d, key, pd, addr)
 	}
 
@@ -493,16 +557,17 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 		capVal := fhandle.Capability(p.cfg.CapKey, info.FH)
 		off := netsim.HeaderSize + oncrpc.CallHeader + info.FHOffset + capFieldOffset
 		if err := netsim.RewriteUint64(d, off, capVal); err != nil {
-			putPending(pd)
+			p.dropPending(pd)
 			return p.consumeDrop(d)
 		}
 	}
 
+	pd.hop = obs.HopStorage
 	stripe := io.StripeIndex(info.Offset)
 	if info.Proc == nfsproto.ProcWrite && info.FH.Mirrored() {
-		targets, err := p.writeTargets(info.FH, stripe)
+		targets, err := p.writeTargets(pd.span, info.FH, stripe)
 		if err != nil || len(targets) == 0 {
-			putPending(pd)
+			p.dropPending(pd)
 			return p.consumeDrop(d)
 		}
 		pd.expect = len(targets)
@@ -513,16 +578,16 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 	var addr netsim.Addr
 	var err error
 	if info.Proc == nfsproto.ProcRead {
-		addr, err = p.readTarget(info.FH, stripe)
+		addr, err = p.readTarget(pd.span, info.FH, stripe)
 	} else {
 		var ts []netsim.Addr
-		ts, err = p.writeTargets(info.FH, stripe)
+		ts, err = p.writeTargets(pd.span, info.FH, stripe)
 		if err == nil {
 			addr = ts[0]
 		}
 	}
 	if err != nil {
-		putPending(pd)
+		p.dropPending(pd)
 		return p.consumeDrop(d)
 	}
 	p.st.rewriteNS.Add(uint64(time.Since(t0)))
@@ -530,10 +595,11 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 }
 
 // readTarget resolves the storage node for a read, consulting block maps
-// for mapped files and the static placement function otherwise.
-func (p *Proxy) readTarget(fh fhandle.Handle, stripe uint64) (netsim.Addr, error) {
+// for mapped files and the static placement function otherwise. A
+// coordinator fetch on a map miss is attributed to sp, when tracing.
+func (p *Proxy) readTarget(sp *obs.Span, fh fhandle.Handle, stripe uint64) (netsim.Addr, error) {
 	if fh.Mapped() && !p.coord().IsZero() {
-		site, err := p.mappedSite(fh, stripe)
+		site, err := p.mappedSite(sp, fh, stripe)
 		if err != nil {
 			return netsim.Addr{}, err
 		}
@@ -543,9 +609,9 @@ func (p *Proxy) readTarget(fh fhandle.Handle, stripe uint64) (netsim.Addr, error
 }
 
 // writeTargets resolves the storage nodes for a write (all replicas).
-func (p *Proxy) writeTargets(fh fhandle.Handle, stripe uint64) ([]netsim.Addr, error) {
+func (p *Proxy) writeTargets(sp *obs.Span, fh fhandle.Handle, stripe uint64) ([]netsim.Addr, error) {
 	if fh.Mapped() && !p.coord().IsZero() && !fh.Mirrored() {
-		site, err := p.mappedSite(fh, stripe)
+		site, err := p.mappedSite(sp, fh, stripe)
 		if err != nil {
 			return nil, err
 		}
@@ -560,12 +626,12 @@ func (p *Proxy) writeTargets(fh fhandle.Handle, stripe uint64) ([]netsim.Addr, e
 
 // mappedSite returns the block-map site for a stripe, fetching a fragment
 // from the coordinator on a miss.
-func (p *Proxy) mappedSite(fh fhandle.Handle, stripe uint64) (uint32, error) {
+func (p *Proxy) mappedSite(sp *obs.Span, fh fhandle.Handle, stripe uint64) (uint32, error) {
 	if site, ok := p.maps.get(fh, stripe); ok {
 		return site, nil
 	}
 	first := stripe - stripe%mapChunk
-	sites, err := p.coordGetMap(fh, first, mapChunk)
+	sites, err := p.coordGetMap(sp, fh, first, mapChunk)
 	if err != nil {
 		return 0, err
 	}
@@ -605,7 +671,7 @@ func (p *Proxy) retargets(prog uint32, proc nfsproto.Proc, info nfsproto.Request
 		}
 		stripe := p.cfg.IO.StripeIndex(info.Offset)
 		if proc == nfsproto.ProcWrite {
-			ts, err := p.writeTargets(info.FH, stripe)
+			ts, err := p.writeTargets(nil, info.FH, stripe)
 			if err != nil || len(ts) == 0 {
 				return nil, false
 			}
@@ -614,7 +680,7 @@ func (p *Proxy) retargets(prog uint32, proc nfsproto.Proc, info nfsproto.Request
 			}
 			return ts, true
 		}
-		a, err := p.readTarget(info.FH, stripe)
+		a, err := p.readTarget(nil, info.FH, stripe)
 		if err != nil {
 			return nil, false
 		}
@@ -629,21 +695,28 @@ func (p *Proxy) retargets(prog uint32, proc nfsproto.Proc, info nfsproto.Request
 }
 
 // forward registers the pending record, rewrites the destination in place
-// (incremental checksum update), and reinjects the datagram.
+// (incremental checksum update), and reinjects the datagram. The rewrite
+// and all observability stamps happen before the record is published:
+// once it is in the pending table, the reply may pair with it on another
+// goroutine.
 func (p *Proxy) forward(d []byte, key pendKey, pd *pendingReq, target netsim.Addr) netsim.Verdict {
 	t0 := time.Now()
 	pd.targetsBuf[0] = target
 	pd.targets = pd.targetsBuf[:1]
 	pd.routeVer = p.routeVersion()
+
+	t1 := time.Now()
+	netsim.RewriteDst(d, target)
+	rw := time.Since(t1)
+	p.st.rewriteNS.Add(uint64(rw))
+	p.markSent(pd, t1, rw)
+
+	t2 := time.Now()
 	s := p.shardFor(key)
 	s.mu.Lock()
 	s.pend[key] = pd
 	s.mu.Unlock()
-	p.st.softStateNS.Add(uint64(time.Since(t0)))
-
-	t1 := time.Now()
-	netsim.RewriteDst(d, target)
-	p.st.rewriteNS.Add(uint64(time.Since(t1)))
+	p.st.softStateNS.Add(uint64(time.Since(t2) + t1.Sub(t0)))
 	p.st.requests.Add(1)
 	_ = p.cfg.Net.Inject(d)
 	return netsim.Consumed
@@ -660,6 +733,7 @@ func (p *Proxy) forwardMulti(d []byte, key pendKey, pd *pendingReq, targets []ne
 		pd.targets = targets
 	}
 	pd.routeVer = p.routeVersion()
+	p.markSent(pd, t0, 0)
 	s := p.shardFor(key)
 	s.mu.Lock()
 	s.pend[key] = pd
@@ -726,14 +800,16 @@ func (p *Proxy) coordRPC() (*oncrpc.Client, error) {
 }
 
 // nfsCall issues an NFS call the µproxy originates itself (lookups for
-// remove orchestration, setattr writeback, commit fan-out).
-func (p *Proxy) nfsCall(addr netsim.Addr, proc nfsproto.Proc, args nfsproto.Msg, res nfsproto.Msg) error {
+// remove orchestration, setattr writeback, commit fan-out). The call is
+// attributed to span sp (nil for background work) as a hop of the given
+// kind, carrying the trace id on the wire.
+func (p *Proxy) nfsCall(sp *obs.Span, hop obs.HopKind, addr netsim.Addr, proc nfsproto.Proc, args nfsproto.Msg, res nfsproto.Msg) error {
 	c, err := p.rpc(addr)
 	if err != nil {
 		return err
 	}
 	p.st.initiated.Add(1)
-	body, err := c.Call(nfsproto.Program, nfsproto.Version, uint32(proc), args.Encode)
+	body, err := p.obsCall(sp, hop, c, nfsproto.Program, nfsproto.Version, uint32(proc), args.Encode)
 	if err != nil {
 		return err
 	}

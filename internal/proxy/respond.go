@@ -6,6 +6,7 @@ import (
 	"slice/internal/attr"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/xdr"
 )
@@ -64,6 +65,11 @@ func (p *Proxy) handleResponse(d []byte, key pendKey) netsim.Verdict {
 	// The record is now exclusively owned by this goroutine: lookups and
 	// deletion are serialized by the shard lock.
 	p.st.softStateNS.Add(uint64(time.Since(t0)))
+
+	// Attribute the forwarded hop now that its last reply arrived; the
+	// reply trailer, when the server appended one, splits out its
+	// handler time.
+	p.recordHop(pd, rep.Body)
 
 	if pd.errReply != nil {
 		rep.Body = pd.errReply
@@ -124,6 +130,7 @@ func (p *Proxy) finishResponse(d []byte, key pendKey, pd *pendingReq, rep oncrpc
 			p.passThrough(d)
 		}
 	}
+	p.endObs(pd)
 	putPending(pd)
 }
 
@@ -182,7 +189,7 @@ func (p *Proxy) respondIO(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Repl
 			var ga nfsproto.GetAttrRes
 			gaInfo := nfsproto.RequestInfo{Proc: nfsproto.ProcGetAttr, FH: fh}
 			if addr, err := p.cfg.Names.AddrFor(&gaInfo); err == nil {
-				if err := p.nfsCall(addr, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: fh}, &ga); err == nil && ga.Status == nfsproto.OK {
+				if err := p.nfsCall(pd.span, obs.HopDirsrv, addr, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: fh}, &ga); err == nil && ga.Status == nfsproto.OK {
 					p.observeAttr(fh, ga.Attr)
 					at, ok = p.attrs.get(fh)
 				}

@@ -15,6 +15,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/xdr"
 )
@@ -67,6 +68,17 @@ func New(port *netsim.Port, volume uint32, clock func() attr.Time) *Server {
 
 // Addr returns the server address.
 func (s *Server) Addr() netsim.Addr { return s.srv.Addr() }
+
+// SetObs attaches a histogram registry recording per-procedure handler
+// latency (nil detaches), so the baseline server exposes the same
+// op-class histograms as the decomposed ensemble.
+func (s *Server) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.srv.SetObserver(nil)
+		return
+	}
+	s.srv.SetObserver(reg.ObserveRPC)
+}
 
 // Root returns the volume root handle.
 func (s *Server) Root() fhandle.Handle { return s.root }

@@ -4,6 +4,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/storage"
 	"slice/internal/wal"
@@ -44,6 +45,16 @@ func (s *Server) Store() *Store { return s.store }
 
 // Addr returns the server's address.
 func (s *Server) Addr() netsim.Addr { return s.srv.Addr() }
+
+// SetObs attaches a histogram registry recording per-procedure handler
+// latency (nil detaches).
+func (s *Server) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.srv.SetObserver(nil)
+		return
+	}
+	s.srv.SetObserver(reg.ObserveRPC)
+}
 
 // Close shuts the server down.
 func (s *Server) Close() { s.srv.Close() }

@@ -6,6 +6,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/xdr"
 )
@@ -92,6 +93,16 @@ func (n *Node) Store() *ObjectStore { return n.store }
 
 // Addr returns the node's network address.
 func (n *Node) Addr() netsim.Addr { return n.srv.Addr() }
+
+// SetObs attaches a histogram registry recording per-procedure handler
+// latency (nil detaches).
+func (n *Node) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		n.srv.SetObserver(nil)
+		return
+	}
+	n.srv.SetObserver(reg.ObserveRPC)
+}
 
 // Close shuts the node down.
 func (n *Node) Close() { n.srv.Close() }
