@@ -27,17 +27,26 @@ bench-proxy:
 
 # Benchmark regression gate: repeated short runs of the gated data-path
 # benchmarks, reduced to their minimum and compared against the
-# checked-in baseline. Allocation counts are held exactly (the forward
-# path must stay 0 allocs/op); ns/op gets BENCH_TOLERANCE headroom for
-# machine noise. bench.out is kept for CI artifact upload.
+# checked-in baselines. Allocation counts are held exactly (the forward
+# path must stay 0 allocs/op; the bulk path's budgets carry headroom in
+# BENCH_bulkio.json); ns/op gets BENCH_TOLERANCE headroom for machine
+# noise. bench.out/bench_bulk.out are kept for CI artifact upload. The
+# bulk benchmarks run at -cpu 4 only (the windowed fan-out needs
+# GOMAXPROCS>1 to overlap) and a few long iterations, not thousands of
+# short ones.
 BENCH_COUNT ?= 6
 BENCH_TIME ?= 20000x
+BENCH_BULK_TIME ?= 3x
 BENCH_TOLERANCE ?= 2.5
 bench-gate:
 	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem \
 	    -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -cpu 1,4 . > bench.out \
 	    || { cat bench.out; exit 1; }
 	$(GO) run ./cmd/benchgate -baseline BENCH_proxy.json -input bench.out -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run xxx -bench 'BenchmarkBulk(Read|Write)' -benchmem \
+	    -benchtime $(BENCH_BULK_TIME) -count $(BENCH_COUNT) -cpu 4 . > bench_bulk.out \
+	    || { cat bench_bulk.out; exit 1; }
+	$(GO) run ./cmd/benchgate -baseline BENCH_bulkio.json -input bench_bulk.out -tolerance $(BENCH_TOLERANCE)
 
 # Static analysis beyond vet. The tools are not vendored: CI installs
 # them; offline checkouts skip with a note rather than failing.

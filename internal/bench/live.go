@@ -42,17 +42,17 @@ func Live(w io.Writer, outPath string) error {
 
 	phases := []struct {
 		name string
-		run  func() (int, error)
+		run  func() (int, *liveBW, error)
 	}{
-		{"untar", func() (int, error) { return liveUntar(c) }},
-		{"sfs-mix", func() (int, error) { return liveSfsMix(c) }},
-		{"dd", func() (int, error) { return liveDD(c) }},
+		{"untar", func() (int, *liveBW, error) { n, err := liveUntar(c); return n, nil, err }},
+		{"sfs-mix", func() (int, *liveBW, error) { n, err := liveSfsMix(c); return n, nil, err }},
+		{"dd", func() (int, *liveBW, error) { return liveDD(c) }},
 	}
 
 	report := liveReport{Experiment: "live"}
 	prev := e.Obs.Snapshot()
 	for _, ph := range phases {
-		ops, err := ph.run()
+		ops, bw, err := ph.run()
 		if err != nil {
 			return fmt.Errorf("live %s: %w", ph.name, err)
 		}
@@ -60,6 +60,7 @@ func Live(w io.Writer, outPath string) error {
 		report.Phases = append(report.Phases, livePhase{
 			Name:      ph.name,
 			Ops:       ops,
+			Bandwidth: bw,
 			OpClasses: phaseHists(prev, cur, "uproxy", "e2e."),
 			Hops:      phaseHists(prev, cur, "uproxy", "hop."),
 			Stages:    phaseHists(prev, cur, "uproxy", "stage."),
@@ -69,6 +70,10 @@ func Live(w io.Writer, outPath string) error {
 
 	for _, ph := range report.Phases {
 		fmt.Fprintf(w, "phase %s (%d ops)\n", ph.Name, ph.Ops)
+		if ph.Bandwidth != nil {
+			fmt.Fprintf(w, "  bandwidth: write %.1f MB/s, read %.1f MB/s (windowed bulk path)\n",
+				ph.Bandwidth.WriteMBps, ph.Bandwidth.ReadMBps)
+		}
 		tbl := newTable("op class", "count", "p50", "p95", "p99", "max")
 		for _, name := range sortedHistNames(ph.OpClasses) {
 			h := ph.OpClasses[name]
@@ -106,9 +111,17 @@ type liveReport struct {
 type livePhase struct {
 	Name      string              `json:"name"`
 	Ops       int                 `json:"ops"`
+	Bandwidth *liveBW             `json:"bandwidth,omitempty"`
 	OpClasses map[string]liveHist `json:"op_classes"`
 	Hops      map[string]liveHist `json:"hops"`
 	Stages    map[string]liveHist `json:"stages"`
+}
+
+// liveBW reports a bulk phase's throughput (decimal MB/s), so the bulk
+// path shows up in the exposition as bandwidth and not just op latency.
+type liveBW struct {
+	WriteMBps float64 `json:"write_mbps"`
+	ReadMBps  float64 `json:"read_mbps"`
 }
 
 // liveHist is one histogram's summary, in nanoseconds.
@@ -246,31 +259,22 @@ func liveSfsMix(c *client.Client) (int, error) {
 	return ops, nil
 }
 
-// liveDD is the bulk-I/O phase: a large sequential unstable write,
-// a commit, and a sequential read back through the striped path.
-func liveDD(c *client.Client) (int, error) {
-	fh, _, err := c.Create(c.Root(), "dd.dat", 0o644, true)
-	if err != nil {
-		return 0, err
-	}
+// liveDD is the bulk-I/O phase: a large sequential unstable write, a
+// commit, and a verified sequential read back through the striped
+// windowed path, timed so the phase reports MB/s.
+func liveDD(c *client.Client) (int, *liveBW, error) {
 	const total = 4 << 20
-	chunk := make([]byte, 64<<10)
-	ops := 1
-	for off := 0; off < total; off += len(chunk) {
-		if _, err := c.Write(fh, uint64(off), chunk, false); err != nil {
-			return ops, err
-		}
-		ops++
+	ops := total/(64<<10)*2 + 2 // writes + reads + create + commit
+	wst, err := workload.DD(c, c.Root(), workload.DDConfig{Name: "dd.dat", Bytes: total, Write: true})
+	if err != nil {
+		return 0, nil, err
 	}
-	if _, err := c.Commit(fh); err != nil {
-		return ops, err
+	rst, err := workload.DD(c, c.Root(), workload.DDConfig{Name: "dd.dat", Bytes: total, Verify: true})
+	if err != nil {
+		return ops, nil, err
 	}
-	ops++
-	for off := 0; off < total; off += len(chunk) {
-		if _, _, err := c.Read(fh, uint64(off), chunk); err != nil {
-			return ops, err
-		}
-		ops++
+	if rst.Mismatch || rst.Bytes != total {
+		return ops, nil, fmt.Errorf("dd: read back %d bytes, mismatch=%v", rst.Bytes, rst.Mismatch)
 	}
-	return ops, nil
+	return ops, &liveBW{WriteMBps: wst.MBps(), ReadMBps: rst.MBps()}, nil
 }

@@ -8,15 +8,25 @@
 // concession is mechanical: I/O is split so no single transfer crosses a
 // stripe-unit or threshold boundary, matching how the prototype's 32KB NFS
 // block size aligned with the µproxy's stripe unit.
+//
+// Bulk I/O is pipelined: Read and Write keep a bounded window of chunk
+// RPCs in flight across the storage array (sequential readahead on the
+// read side, write-behind with sub-stripe-unit coalescing on the write
+// side), so aggregate bandwidth scales with array width instead of being
+// bound by one round trip at a time. See bulk.go. Window ≤ 1 selects the
+// fully serial path.
 package client
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"slice/internal/attr"
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/route"
 	"slice/internal/xdr"
@@ -45,13 +55,46 @@ type Config struct {
 	StripeUnit uint64
 	// RPC tunes timeouts and retries.
 	RPC oncrpc.ClientConfig
+	// Window bounds the number of chunk RPCs kept in flight by bulk
+	// Read/Write. 0 means DefaultWindow; 1 or negative selects the fully
+	// serial path (one chunk round trip at a time). Size it to stripe
+	// width × per-node queue depth (route.IOPolicy.WindowFor).
+	Window int
+	// Readahead bounds sequential read prefetch, in chunks beyond the
+	// current request. 0 means the window depth; negative disables
+	// readahead.
+	Readahead int
+	// Obs, when set, receives window-occupancy and per-chunk-latency
+	// histograms for the bulk path.
+	Obs *obs.Registry
 }
 
+// DefaultWindow is the bulk-I/O window depth when Config.Window is 0.
+const DefaultWindow = 8
+
 // Client is a Slice NFS client bound to one server address.
+//
+// A Client may be shared by concurrent goroutines for calls on distinct
+// files; bulk operations on the same file must be externally ordered
+// (the write-behind and readahead state assume one stream per file).
 type Client struct {
 	cfg  Config
 	rpc  *oncrpc.Client
 	root fhandle.Handle
+
+	// Bulk-I/O engine state (bulk.go). win is the window semaphore; a
+	// slot is held for the duration of each in-flight chunk RPC.
+	win     chan struct{}
+	occ     atomic.Int64 // current window occupancy, sampled into winHist
+	winHist *obs.Histogram
+	readNS  *obs.Histogram
+	writeNS *obs.Histogram
+
+	bulkMu  sync.Mutex
+	bulkCnd *sync.Cond
+	files   map[fhandle.Key]*fileIO // files with write-behind state
+	tail    *writeTail              // buffered sequential write tail
+	ra      raState                 // sequential readahead cache
 }
 
 // New creates a client on the netsim fabric. Call Mount before file
@@ -76,14 +119,37 @@ func NewWithConn(conn oncrpc.Conn, cfg Config) *Client {
 	if cfg.BlockSize == 0 {
 		cfg.BlockSize = uint32(cfg.StripeUnit)
 	}
-	return &Client{
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Readahead == 0 {
+		cfg.Readahead = cfg.Window
+	}
+	c := &Client{
 		cfg: cfg,
 		rpc: oncrpc.NewClient(conn, cfg.Server, cfg.RPC),
 	}
+	c.bulkCnd = sync.NewCond(&c.bulkMu)
+	c.files = make(map[fhandle.Key]*fileIO)
+	if cfg.Window > 1 {
+		c.win = make(chan struct{}, cfg.Window)
+	}
+	if cfg.Obs != nil {
+		c.winHist = cfg.Obs.Hist(obs.HistBulkWindow)
+		c.readNS = cfg.Obs.Hist(obs.HistBulkReadChunk)
+		c.writeNS = cfg.Obs.Hist(obs.HistBulkWriteChunk)
+	}
+	return c
 }
 
-// Close releases the client's port.
-func (c *Client) Close() { c.rpc.Close() }
+// Close drains outstanding write-behind traffic (best effort) and
+// releases the client's port.
+func (c *Client) Close() {
+	if c.windowed() {
+		c.drainAll()
+	}
+	c.rpc.Close()
+}
 
 // Retransmissions exposes the RPC retransmission count for tests.
 func (c *Client) Retransmissions() uint64 { return c.rpc.Retransmissions() }
@@ -133,6 +199,13 @@ func (c *Client) Null() error {
 
 // GetAttr fetches the attributes of fh.
 func (c *Client) GetAttr(fh fhandle.Handle) (attr.Attr, error) {
+	if c.windowed() {
+		// Buffered write-behind extends the file; attributes must
+		// reflect every write already accepted.
+		if err := c.drainFile(fh); err != nil {
+			return attr.Attr{}, err
+		}
+	}
 	var res nfsproto.GetAttrRes
 	if err := c.call(nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: fh}, &res); err != nil {
 		return attr.Attr{}, err
@@ -142,6 +215,12 @@ func (c *Client) GetAttr(fh fhandle.Handle) (attr.Attr, error) {
 
 // SetAttr applies a partial attribute update.
 func (c *Client) SetAttr(fh fhandle.Handle, sa attr.SetAttr) (attr.Attr, error) {
+	if c.windowed() {
+		if err := c.drainFile(fh); err != nil {
+			return attr.Attr{}, err
+		}
+		c.invalidateRA(fh.Ident())
+	}
 	var res nfsproto.SetAttrRes
 	if err := c.call(nfsproto.ProcSetAttr, &nfsproto.SetAttrArgs{FH: fh, Sattr: sa}, &res); err != nil {
 		return attr.Attr{}, err
@@ -199,8 +278,15 @@ func (c *Client) Mkdir(dir fhandle.Handle, name string, mode uint32) (fhandle.Ha
 	return res.FH, res.Attr.Attr, res.Status.Error()
 }
 
-// Remove unlinks a file.
+// Remove unlinks a file. Namespace changes are identified by (dir, name)
+// rather than file handle, so the windowed path conservatively drains all
+// write-behind traffic and drops the readahead cache first.
 func (c *Client) Remove(dir fhandle.Handle, name string) error {
+	if c.windowed() {
+		if err := c.drainAll(); err != nil {
+			return err
+		}
+	}
 	var res nfsproto.RemoveRes
 	if err := c.call(nfsproto.ProcRemove, &nfsproto.RemoveArgs{Dir: dir, Name: name}, &res); err != nil {
 		return err
@@ -217,8 +303,13 @@ func (c *Client) Rmdir(dir fhandle.Handle, name string) error {
 	return res.Status.Error()
 }
 
-// Rename moves an entry.
+// Rename moves an entry. Like Remove it drains the window first.
 func (c *Client) Rename(fromDir fhandle.Handle, fromName string, toDir fhandle.Handle, toName string) error {
+	if c.windowed() {
+		if err := c.drainAll(); err != nil {
+			return err
+		}
+	}
 	args := nfsproto.RenameArgs{FromDir: fromDir, FromName: fromName, ToDir: toDir, ToName: toName}
 	var res nfsproto.RenameRes
 	if err := c.call(nfsproto.ProcRename, &args, &res); err != nil {
@@ -285,6 +376,15 @@ func (c *Client) chunkEnd(off uint64) uint64 {
 // Read fills p from fh starting at off. It returns the bytes read and
 // whether end of file was reached.
 func (c *Client) Read(fh fhandle.Handle, off uint64, p []byte) (int, bool, error) {
+	if c.windowed() {
+		return c.windowedRead(fh, off, p)
+	}
+	return c.serialRead(fh, off, p)
+}
+
+// serialRead is the one-chunk-at-a-time read loop; the windowed path
+// must stay byte-exact with it.
+func (c *Client) serialRead(fh fhandle.Handle, off uint64, p []byte) (int, bool, error) {
 	read := 0
 	for read < len(p) {
 		cur := off + uint64(read)
@@ -311,7 +411,20 @@ func (c *Client) Read(fh fhandle.Handle, off uint64, p []byte) (int, bool, error
 }
 
 // Write stores p at off. stable selects FILE_SYNC semantics per chunk.
+//
+// On the windowed path, unstable writes are asynchronous (write-behind):
+// a successful return means the bytes are buffered or in flight, and a
+// chunk failure is reported by a later Write, Commit, or drain on the
+// same file — the NFSv3 deferred-error model.
 func (c *Client) Write(fh fhandle.Handle, off uint64, p []byte, stable bool) (int, error) {
+	if c.windowed() {
+		return c.windowedWrite(fh, off, p, stable)
+	}
+	return c.serialWrite(fh, off, p, stable)
+}
+
+// serialWrite is the one-chunk-at-a-time write loop.
+func (c *Client) serialWrite(fh fhandle.Handle, off uint64, p []byte, stable bool) (int, error) {
 	written := 0
 	stability := uint32(nfsproto.Unstable)
 	if stable {
@@ -343,8 +456,28 @@ func (c *Client) Write(fh fhandle.Handle, off uint64, p []byte, stable bool) (in
 	return written, nil
 }
 
+// Flush pushes out fh's buffered write-behind bytes and waits for every
+// in-flight chunk, surfacing any deferred write error. Unlike Commit it
+// costs no round trip and asks for no durability — it only restores the
+// serial path's "Write returned, so the server saw it" guarantee. No-op
+// on the serial path.
+func (c *Client) Flush(fh fhandle.Handle) error {
+	if !c.windowed() {
+		return nil
+	}
+	return c.drainFile(fh)
+}
+
 // Commit flushes unstable writes on fh and returns the write verifier.
+// On the windowed path it is the barrier that drains the write-behind
+// window (and surfaces any deferred async write error) before the COMMIT
+// round trip.
 func (c *Client) Commit(fh fhandle.Handle) (uint64, error) {
+	if c.windowed() {
+		if err := c.drainFile(fh); err != nil {
+			return 0, err
+		}
+	}
 	var res nfsproto.CommitRes
 	if err := c.call(nfsproto.ProcCommit, &nfsproto.CommitArgs{FH: fh}, &res); err != nil {
 		return 0, err
@@ -363,8 +496,13 @@ func (c *Client) ReadAll(fh fhandle.Handle) ([]byte, error) {
 	return buf[:n], err
 }
 
-// WriteFile writes data at offset 0 and commits it.
+// WriteFile writes data at offset 0 and commits it. An empty file needs
+// no WRITE and therefore nothing to commit; the COMMIT round trip is
+// skipped.
 func (c *Client) WriteFile(fh fhandle.Handle, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
 	if _, err := c.Write(fh, 0, data, false); err != nil {
 		return err
 	}

@@ -196,3 +196,25 @@ func (c *Chaos) PartitionStorage(i int) {
 func (c *Chaos) HealStorage(i int) {
 	c.e.Net.RejoinHost(HostStorage0 + uint32(i))
 }
+
+// RestartStorage reboots storage node i mid-flight: the host's ports are
+// torn down (in-flight datagrams to and from it are lost) and the node
+// comes back at the same address over the same backing store — a machine
+// reboot that keeps its disk. No table rebind is needed.
+func (c *Chaos) RestartStorage(i int) (*storage.Node, error) {
+	host := HostStorage0 + uint32(i)
+	c.e.Net.CrashHost(host)
+	c.e.Storage[i].Close()
+	c.e.Net.RestartHost(host)
+	port, err := c.e.Net.Bind(netsim.Addr{Host: host, Port: ServicePort})
+	if err != nil {
+		return nil, err
+	}
+	node := storage.NewNode(port, c.e.Storage[i].Store())
+	if len(c.e.cfg.CapabilityKey) > 0 {
+		node.RequireCapability(c.e.cfg.CapabilityKey)
+	}
+	node.SetObs(c.e.obsStorage[i])
+	c.e.Storage[i] = node
+	return node, nil
+}

@@ -310,9 +310,27 @@ func (e *Ensemble) serveStats(proc, arg uint32) []byte {
 	return nil
 }
 
-// NewClient creates and mounts a client on a fresh host.
+// clientQueueDepth is the per-storage-node pipeline depth used to size
+// client windows: window = array width × this depth (route.WindowFor).
+const clientQueueDepth = 4
+
+// NewClient creates and mounts a windowed client on a fresh host, its
+// bulk-I/O window sized to the storage array width.
 func (e *Ensemble) NewClient() (*client.Client, error) {
+	return e.newClient(e.IOPolicy.WindowFor(clientQueueDepth))
+}
+
+// NewSerialClient creates and mounts a client on the fully serial
+// (one-chunk-at-a-time) bulk path — the baseline the windowed path must
+// stay byte-exact with.
+func (e *Ensemble) NewSerialClient() (*client.Client, error) {
+	return e.newClient(1)
+}
+
+func (e *Ensemble) newClient(window int) (*client.Client, error) {
 	e.nextClient++
+	reg := obs.NewRegistry(fmt.Sprintf("client[%d]", e.nextClient))
+	e.Obs.AddRegistry(reg)
 	c, err := client.New(client.Config{
 		Net:        e.Net,
 		Host:       HostClient0 + e.nextClient,
@@ -320,6 +338,8 @@ func (e *Ensemble) NewClient() (*client.Client, error) {
 		Threshold:  e.IOPolicy.Threshold,
 		StripeUnit: e.IOPolicy.StripeUnit,
 		RPC:        e.cfg.ClientRPC,
+		Window:     window,
+		Obs:        reg,
 	})
 	if err != nil {
 		return nil, err

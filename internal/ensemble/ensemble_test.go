@@ -640,8 +640,10 @@ func TestCapabilityProtection(t *testing.T) {
 	if err := c.WriteFile(fh2, bytes.Repeat([]byte("x"), 128*1024)); err != nil {
 		t.Fatal(err)
 	}
+	// Window 1: the rogue probe needs synchronous per-write errors, not
+	// the windowed path's deferred write-behind reporting.
 	rogue, err := client.New(client.Config{
-		Net: e.Net, Host: 250, Server: e.Storage[0].Addr(),
+		Net: e.Net, Host: 250, Server: e.Storage[0].Addr(), Window: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

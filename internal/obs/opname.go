@@ -13,6 +13,15 @@ const (
 	progCoord   = 200301
 )
 
+// Histogram names for the client bulk-I/O engine. bulk.window samples
+// window occupancy (slots, not nanoseconds) at each slot acquisition;
+// the chunk histograms record per-chunk RPC latency including retries.
+const (
+	HistBulkWindow     = "bulk.window"
+	HistBulkReadChunk  = "bulk.read_chunk"
+	HistBulkWriteChunk = "bulk.write_chunk"
+)
+
 // dirPeerProcNames names the directory-server peer protocol (§4.3).
 var dirPeerProcNames = [...]string{
 	1: "peer.getattr",

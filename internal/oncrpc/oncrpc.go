@@ -243,20 +243,35 @@ func (e *ErrRejected) Error() string {
 	return fmt.Sprintf("oncrpc: call rejected (accept_stat %d)", e.Accept)
 }
 
+// numPendingShards shards the xid→reply-channel map. With a windowed
+// bulk client keeping dozens of calls in flight, a single pending-map
+// mutex becomes the hot lock: every CallStart, every reply, and every
+// retransmission timer would serialize on it. Sixteen shards keyed by
+// the xid's low bits keep registration and reply matching contention-free
+// (xids are sequential, so consecutive in-flight calls land on distinct
+// shards).
+const numPendingShards = 16
+
+// pendingShard is one lock-striped slice of the pending-call map.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint32]chan Reply
+}
+
 // Client issues RPC calls to a fixed server address over a netsim port and
-// matches replies to calls by xid.
+// matches replies to calls by xid. Calls may be issued concurrently from
+// any number of goroutines; see CallStart for the asynchronous form.
 type Client struct {
 	port   Conn
 	server netsim.Addr
 	cfg    ClientConfig
 
-	mu      sync.Mutex
-	nextXid uint32
-	pending map[uint32]chan Reply
-	closed  bool
+	nextXid atomic.Uint32
+	closed  atomic.Bool
+	shards  [numPendingShards]pendingShard
 
-	// Retransmissions counts retransmitted calls, for tests and stats.
-	retransmissions uint64
+	// retransmissions counts retransmitted calls, for tests and stats.
+	retransmissions atomic.Uint64
 }
 
 // NewClient creates a client bound to port that calls the given server
@@ -268,11 +283,13 @@ func NewClient(port Conn, server netsim.Addr, cfg ClientConfig) *Client {
 		seed = randomUint32()
 	}
 	c := &Client{
-		port:    port,
-		server:  server,
-		cfg:     cfg,
-		nextXid: seed,
-		pending: make(map[uint32]chan Reply),
+		port:   port,
+		server: server,
+		cfg:    cfg,
+	}
+	c.nextXid.Store(seed - 1) // Add(1) on first register yields the seed
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint32]chan Reply)
 	}
 	go c.recvLoop()
 	return c
@@ -294,17 +311,41 @@ func (c *Client) target() netsim.Addr {
 
 // Retransmissions returns the number of retransmitted datagrams.
 func (c *Client) Retransmissions() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.retransmissions
+	return c.retransmissions.Load()
 }
 
 // Close shuts the client down; in-flight calls fail.
 func (c *Client) Close() {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
+	c.closed.Store(true)
 	c.port.Close()
+}
+
+// shard returns the pending shard owning xid.
+func (c *Client) shard(xid uint32) *pendingShard {
+	return &c.shards[xid%numPendingShards]
+}
+
+// register allocates an xid and its reply channel.
+func (c *Client) register() (uint32, chan Reply, error) {
+	if c.closed.Load() {
+		return 0, nil, netsim.ErrClosed
+	}
+	xid := c.nextXid.Add(1)
+	ch := make(chan Reply, 1)
+	s := c.shard(xid)
+	s.mu.Lock()
+	s.m[xid] = ch
+	s.mu.Unlock()
+	return xid, ch, nil
+}
+
+// unregister removes a call's pending entry (idempotent: the receive
+// loop removes it first when a reply wins the race).
+func (c *Client) unregister(xid uint32) {
+	s := c.shard(xid)
+	s.mu.Lock()
+	delete(s.m, xid)
+	s.mu.Unlock()
 }
 
 func (c *Client) recvLoop() {
@@ -319,14 +360,18 @@ func (c *Client) recvLoop() {
 			netsim.FreeBuf(d)
 			continue // not a reply; ignore
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[rep.Xid]
+		s := c.shard(rep.Xid)
+		s.mu.Lock()
+		ch, ok := s.m[rep.Xid]
 		if ok {
-			delete(c.pending, rep.Xid)
+			delete(s.m, rep.Xid)
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		if ok {
 			// Copy the body: the datagram buffer goes back to the pool.
+			// The copy is owned by the awaiting caller; duplicate
+			// deliveries of the same xid find no pending entry and are
+			// dropped above, so the buffered send can never block.
 			body := make([]byte, len(rep.Body))
 			copy(body, rep.Body)
 			rep.Body = body
@@ -351,34 +396,28 @@ func (c *Client) CallTraced(traceID uint64, prog, vers, proc uint32, args func(*
 }
 
 func (c *Client) call(prog, vers, proc uint32, args func(*xdr.Encoder), traceID uint64, traced bool) ([]byte, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, netsim.ErrClosed
+	xid, ch, err := c.register()
+	if err != nil {
+		return nil, err
 	}
-	xid := c.nextXid
-	c.nextXid++
-	ch := make(chan Reply, 1)
-	c.pending[xid] = ch
-	c.mu.Unlock()
-
-	defer func() {
-		c.mu.Lock()
-		delete(c.pending, xid)
-		c.mu.Unlock()
-	}()
-
+	defer c.unregister(xid)
 	payload := EncodeCall(xid, prog, vers, proc, args)
 	if traced {
 		payload = AppendCallTrace(payload, traceID)
 	}
+	return c.transact(proc, payload, ch)
+}
+
+// transact runs the retransmit/timeout loop for one registered call. It
+// is shared by the synchronous and asynchronous call paths, so every
+// concurrent call gets the same backoff, jitter, and re-resolve
+// behaviour.
+func (c *Client) transact(proc uint32, payload []byte, ch chan Reply) ([]byte, error) {
 	timeout := c.cfg.Timeout
 	dst := c.target()
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			c.mu.Lock()
-			c.retransmissions++
-			c.mu.Unlock()
+			c.retransmissions.Add(1)
 			// Re-resolve before every retransmission: if the server was
 			// restarted elsewhere while we waited, the retry goes to the
 			// replacement instead of the corpse.
@@ -406,6 +445,49 @@ func (c *Client) call(prog, vers, proc uint32, args func(*xdr.Encoder), traceID 
 	}
 	return nil, fmt.Errorf("%w: proc %d to %s after %d attempts",
 		ErrTimedOut, proc, dst, c.cfg.Retries)
+}
+
+// ---------------------------------------------------------- async calls
+
+// Pending is one in-flight asynchronous call started with CallStart.
+// Await collects its result; each Pending must be awaited exactly once.
+type Pending struct {
+	done chan pendingResult
+}
+
+type pendingResult struct {
+	body []byte
+	err  error
+}
+
+// CallStart issues proc of prog/vers asynchronously and returns a
+// Pending handle. The argument encoder runs synchronously before
+// CallStart returns — the caller may reuse or modify any buffers the
+// encoder read as soon as CallStart returns (transfer of ownership is by
+// copy into the call payload). Retransmission, backoff, and re-resolve
+// run in the background exactly as for Call; any number of calls may be
+// in flight concurrently on one client, bounded only by the caller.
+func (c *Client) CallStart(prog, vers, proc uint32, args func(*xdr.Encoder)) *Pending {
+	p := &Pending{done: make(chan pendingResult, 1)}
+	xid, ch, err := c.register()
+	if err != nil {
+		p.done <- pendingResult{err: err}
+		return p
+	}
+	payload := EncodeCall(xid, prog, vers, proc, args)
+	go func() {
+		body, err := c.transact(proc, payload, ch)
+		c.unregister(xid)
+		p.done <- pendingResult{body: body, err: err}
+	}()
+	return p
+}
+
+// Await blocks until the call completes and returns the reply body (a
+// fresh copy owned by the caller) or the call's error.
+func (p *Pending) Await() ([]byte, error) {
+	r := <-p.done
+	return r.body, r.err
 }
 
 // ---------------------------------------------------------------- server

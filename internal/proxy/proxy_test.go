@@ -257,6 +257,9 @@ func TestCachedAttrExposure(t *testing.T) {
 	if _, err := c.Write(fh, 0, []byte("12345"), false); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Flush(fh); err != nil { // write-behind: force the WRITE out
+		t.Fatal(err)
+	}
 	ok, size := e.Proxy.CachedAttr(fh)
 	if !ok || size != 5 {
 		t.Fatalf("cached attr: ok=%v size=%d", ok, size)
@@ -290,6 +293,9 @@ func TestAttrCacheEvictionWritesBack(t *testing.T) {
 		}
 		size := 100 + i
 		if _, err := c.Write(fh, 0, bytes.Repeat([]byte("e"), size), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(fh); err != nil { // write-behind: land it before eviction
 			t.Fatal(err)
 		}
 		fhs = append(fhs, struct {

@@ -127,6 +127,18 @@ func (t *Table) Physical() []netsim.Addr {
 	return out
 }
 
+// NumPhysical returns the number of distinct physical addresses bound in
+// the table — the real array width when several logical sites share a
+// node.
+func (t *Table) NumPhysical() int {
+	sites := t.state.Load().sites
+	seen := make(map[netsim.Addr]struct{}, len(sites))
+	for _, a := range sites {
+		seen[a] = struct{}{}
+	}
+	return len(seen)
+}
+
 // ------------------------------------------------------------- I/O policy
 
 // Defaults for the I/O routing policy, from §3.1 and §5 of the paper.
@@ -178,6 +190,23 @@ func (p *IOPolicy) SmallFileServer(fh fhandle.Handle) (netsim.Addr, error) {
 		return netsim.Addr{}, ErrEmptyTable
 	}
 	return p.SmallFile.Route(fhandle.HandleKey(fh))
+}
+
+// WindowFor sizes a client's bulk-I/O window: stripe width × the
+// per-node queue depth, so a full window keeps every storage node
+// perNode requests deep. An empty table yields perNode (no fan-out to
+// exploit, but pipelining one node still hides round-trip latency).
+func (p *IOPolicy) WindowFor(perNode int) int {
+	if perNode < 1 {
+		perNode = 1
+	}
+	width := 1
+	if p.Storage != nil {
+		if n := p.Storage.NumPhysical(); n > width {
+			width = n
+		}
+	}
+	return width * perNode
 }
 
 // StripeIndex returns the stripe unit index of a byte offset.

@@ -79,6 +79,31 @@ func TestSwapPreservesKeys(t *testing.T) {
 	}
 }
 
+func TestNumPhysicalDeduplicates(t *testing.T) {
+	// 8 logical sites over 3 physical nodes: width is 3, not 8.
+	tb := NewTable(8, addrs(3))
+	if n := tb.NumPhysical(); n != 3 {
+		t.Fatalf("NumPhysical = %d, want 3", n)
+	}
+	if n := NewTable(4, nil).NumPhysical(); n != 0 {
+		t.Fatalf("empty table NumPhysical = %d, want 0", n)
+	}
+}
+
+func TestWindowFor(t *testing.T) {
+	p := NewIOPolicy(nil, NewTable(8, addrs(4)))
+	if w := p.WindowFor(4); w != 16 {
+		t.Fatalf("WindowFor(4) over 4 nodes = %d, want 16", w)
+	}
+	if w := p.WindowFor(0); w != 4 {
+		t.Fatalf("WindowFor(0) = %d, want 4 (per-node floor of 1)", w)
+	}
+	empty := NewIOPolicy(nil, NewTable(4, nil))
+	if w := empty.WindowFor(4); w != 4 {
+		t.Fatalf("WindowFor(4) over empty table = %d, want 4", w)
+	}
+}
+
 func TestIOPolicyThreshold(t *testing.T) {
 	p := NewIOPolicy(NewTable(2, addrs(2)), NewTable(4, addrs(4)))
 	if !p.SmallFileTarget(0) || !p.SmallFileTarget(DefaultThreshold-1) {
