@@ -37,10 +37,14 @@ bench-proxy:
 BENCH_COUNT ?= 6
 BENCH_TIME ?= 20000x
 BENCH_BULK_TIME ?= 3x
+BENCH_FLEET_TIME ?= 5000x
 BENCH_TOLERANCE ?= 2.5
 bench-gate:
 	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem \
 	    -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -cpu 1,4 . > bench.out \
+	    || { cat bench.out; exit 1; }
+	$(GO) test -run xxx -bench 'FleetForward' -benchmem \
+	    -benchtime $(BENCH_FLEET_TIME) -count $(BENCH_COUNT) -cpu 4 . >> bench.out \
 	    || { cat bench.out; exit 1; }
 	$(GO) run ./cmd/benchgate -baseline BENCH_proxy.json -input bench.out -tolerance $(BENCH_TOLERANCE)
 	$(GO) test -run xxx -bench 'BenchmarkBulk(Read|Write)' -benchmem \

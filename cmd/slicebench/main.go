@@ -9,6 +9,7 @@
 //	slicebench -exp fig5       # SPECsfs97 delivered throughput
 //	slicebench -exp fig6       # SPECsfs97 latency
 //	slicebench -exp live       # live latency breakdown -> BENCH_live.json
+//	slicebench -exp fleet      # µproxy fleet scale-out (-proxies caps the sweep)
 //	slicebench -exp ablation-hash | ablation-threshold |
 //	           ablation-placement | ablation-affinity-policy
 package main
@@ -26,8 +27,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+
 		strings.Join(append([]string{"all"}, bench.Experiments...), ", "))
 	liveOut := flag.String("live-out", "BENCH_live.json", "output path for the live experiment's JSON report")
+	proxies := flag.Int("proxies", bench.FleetProxies, "largest fleet size the fleet experiment sweeps to (powers of two from 1)")
 	flag.Parse()
 	bench.LiveOut = *liveOut
+	bench.FleetProxies = *proxies
 	if err := bench.Run(*exp, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "slicebench:", err)
 		os.Exit(1)

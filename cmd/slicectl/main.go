@@ -12,6 +12,13 @@
 //	slicectl -connect 127.0.0.1:20490 untar /stress 500
 //	slicectl -connect 127.0.0.1:20490 stats
 //	slicectl -connect 127.0.0.1:20490 trace 16
+//
+// With -proxies N the in-process ensemble runs an N-member µproxy
+// fleet; stats then shows each member under its own label plus the
+// merged uproxy(fleet) aggregate, and trace spans carry the member
+// that recorded them.
+//
+//	slicectl -proxies 4 stats
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 
 func main() {
 	connect := flag.String("connect", "", "UDP address of a running sliced (empty: in-process ensemble)")
+	proxies := flag.Int("proxies", 1, "µproxy fleet size for the in-process ensemble")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -67,7 +75,7 @@ func main() {
 		}
 	} else {
 		e, err := ensemble.New(ensemble.Config{
-			StorageNodes: 4, DirServers: 2, SmallFileServers: 2,
+			StorageNodes: 4, DirServers: 2, SmallFileServers: 2, Proxies: *proxies,
 			Coordinator: true, NameKind: route.MkdirSwitching, MkdirP: 0.25,
 		})
 		if err != nil {
@@ -132,6 +140,12 @@ func runStats(rc *oncrpc.Client, args []string) error {
 		}
 		for _, comp := range snap.Components {
 			comp.WriteText(os.Stdout)
+		}
+		// With a scaled-out fleet every member reports under its own
+		// label ("uproxy", "uproxy[1]", ...); append the merged
+		// fleet-wide view so totals don't have to be summed by eye.
+		if fleet, n := snap.MergeRole("uproxy", "uproxy(fleet)"); n > 1 {
+			fleet.WriteText(os.Stdout)
 		}
 		return nil
 

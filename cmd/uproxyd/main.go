@@ -1,29 +1,34 @@
 // Command uproxyd demonstrates that µproxies are freely replicable
-// (§2.1): it runs an ensemble and interposes a SECOND µproxy — with its
-// own routing policy parameters — presenting the same volume at a second
-// virtual address, each behind its own UDP endpoint. The constraint the
-// architecture imposes is only that each client's request stream passes
-// through a single µproxy; clients of endpoint A and clients of endpoint
-// B share the volume with no coordination between the two proxies beyond
-// their (soft) routing tables.
+// (§2.1): it runs an ensemble fronted by an N-member µproxy fleet —
+// shared-nothing soft state, one set of routing tables — and exposes
+// each member's virtual address behind its own UDP endpoint at
+// consecutive ports. The constraint the architecture imposes is only
+// that each client's request stream passes through a single µproxy;
+// clients of different endpoints share the volume with no coordination
+// between the members beyond their (read-mostly) routing tables. The
+// in-process ensemble clients additionally exercise the flow-hashed
+// front: their flows spread across all N members.
 //
-//	uproxyd -listen 127.0.0.1:20490 -listen2 127.0.0.1:20491
+//	uproxyd -listen 127.0.0.1:20490 -proxies 4
+//
+// serves members at :20490 .. :20493.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"time"
 
 	"slice/internal/ensemble"
 	"slice/internal/netsim"
-	"slice/internal/obs"
 	"slice/internal/proxy"
 	"slice/internal/route"
 	"slice/internal/udpgate"
@@ -31,8 +36,8 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:20490", "UDP endpoint of µproxy #1")
-		listen2   = flag.String("listen2", "127.0.0.1:20491", "UDP endpoint of µproxy #2")
+		listen    = flag.String("listen", "127.0.0.1:20490", "UDP endpoint of fleet member 0; member i listens at port+i")
+		proxies   = flag.Int("proxies", 2, "µproxy fleet size (1..8)")
 		stats     = flag.Duration("stats", 10*time.Second, "stats print interval")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 		mutexFrac = flag.Int("mutexprofile", 0, "runtime.SetMutexProfileFraction rate (0 = off)")
@@ -61,6 +66,7 @@ func main() {
 		StorageNodes:      4,
 		DirServers:        2,
 		SmallFileServers:  2,
+		Proxies:           *proxies,
 		Coordinator:       true,
 		NameKind:          route.MkdirSwitching,
 		MkdirP:            0.25,
@@ -71,65 +77,49 @@ func main() {
 	}
 	defer e.Close()
 
-	// Second µproxy: same policies over the same tables, second virtual
-	// address, its own soft state.
-	virtual2 := netsim.Addr{Host: ensemble.HostVirtual + 1, Port: ensemble.ServicePort}
-	var coordAddr netsim.Addr
-	if e.Coord != nil {
-		coordAddr = e.Coord.Addr()
-	}
-	// The replica µproxy observes into its own registry and trace ring,
-	// registered with the shared collector: `slicectl stats` against
-	// either endpoint shows both proxies side by side.
-	reg2 := obs.NewRegistry("uproxy2")
-	tracer2 := obs.NewTracer(256)
-	e.Obs.AddRegistry(reg2)
-	e.Obs.AddTracer("uproxy2", tracer2)
-	p2 := proxy.New(proxy.Config{
-		Net:               e.Net,
-		Host:              ensemble.HostProxy - 1,
-		Virtual:           virtual2,
-		IO:                e.IOPolicy,
-		Names:             e.NamePolicy,
-		Coord:             coordAddr,
-		WritebackInterval: 2 * time.Second,
-		Obs:               reg2,
-		Tracer:            tracer2,
-	})
-	defer p2.Close()
-
-	gw1, err := udpgate.NewGateway(*listen, e.Net, e.Virtual)
+	// One UDP gateway per fleet member, at consecutive ports: a kernel
+	// client is one flow source, so its endpoint choice IS its front
+	// assignment.
+	host, portStr, err := net.SplitHostPort(*listen)
 	if err != nil {
-		log.Fatalf("uproxyd: gateway 1: %v", err)
+		log.Fatalf("uproxyd: -listen %q: %v", *listen, err)
 	}
-	defer gw1.Close()
-	gw2, err := udpgate.NewGateway(*listen2, e.Net, virtual2)
+	basePort, err := strconv.Atoi(portStr)
 	if err != nil {
-		log.Fatalf("uproxyd: gateway 2: %v", err)
+		log.Fatalf("uproxyd: -listen port %q: %v", portStr, err)
 	}
-	defer gw2.Close()
-
-	fmt.Printf("uproxyd: one volume, two interposed µproxies\n")
-	fmt.Printf("  µproxy #1: %v (fabric %v)\n", gw1.Addr(), e.Virtual)
-	fmt.Printf("  µproxy #2: %v (fabric %v)\n", gw2.Addr(), virtual2)
-	fmt.Printf("mount either with: slicectl -connect <addr> ls /\n")
+	fmt.Printf("uproxyd: one volume, %d interposed µproxies\n", len(e.Proxies))
+	for i, p := range e.Proxies {
+		addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		gw, err := udpgate.NewGateway(addr, e.Net, p.Virtual())
+		if err != nil {
+			log.Fatalf("uproxyd: gateway %d: %v", i, err)
+		}
+		defer gw.Close()
+		fmt.Printf("  µproxy #%d: %v (fabric %v)\n", i, gw.Addr(), p.Virtual())
+	}
+	fmt.Printf("mount any endpoint with: slicectl -connect <addr> ls /\n")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	tick := time.NewTicker(*stats)
 	defer tick.Stop()
+	dumpAll := func() {
+		for i, p := range e.Proxies {
+			if p != nil {
+				dump(fmt.Sprintf("µproxy#%d", i), p)
+			}
+		}
+		dumpPool()
+	}
 	for {
 		select {
 		case <-sig:
 			fmt.Println("\nuproxyd: shutting down")
-			dump("µproxy#1", e.Proxy)
-			dump("µproxy#2", p2)
-			dumpPool()
+			dumpAll()
 			return
 		case <-tick.C:
-			dump("µproxy#1", e.Proxy)
-			dump("µproxy#2", p2)
-			dumpPool()
+			dumpAll()
 			e.Obs.WriteText(os.Stdout)
 		}
 	}

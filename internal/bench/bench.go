@@ -18,7 +18,7 @@ import (
 
 // Experiment names accepted by Run.
 var Experiments = []string{
-	"table2", "table3", "fig3", "fig4", "fig5", "fig6", "live",
+	"table2", "table3", "fig3", "fig4", "fig5", "fig6", "live", "fleet",
 	"ablation-hash", "ablation-threshold", "ablation-placement",
 	"ablation-affinity-policy",
 }
@@ -44,6 +44,8 @@ func Run(name string, w io.Writer) error {
 		return Fig6(w)
 	case "live":
 		return Live(w, LiveOut)
+	case "fleet":
+		return Fleet(w)
 	case "ablation-hash":
 		return AblationHash(w)
 	case "ablation-threshold":

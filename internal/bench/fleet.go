@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slice/internal/ensemble"
+	"slice/internal/route"
+)
+
+// FleetProxies is the largest fleet size the fleet experiment sweeps to
+// (powers of two from 1); cmd/slicebench overrides it from -proxies.
+var FleetProxies = 4
+
+// fleetServiceTime paces each fleet member for the experiment: one
+// member saturates at 1/fleetServiceTime requests per second, so the
+// aggregate of a scaled-out fleet should track member count — the
+// shared-nothing scaling claim, measurable on one machine.
+const fleetServiceTime = 200 * time.Microsecond
+
+// fleetClients is the number of concurrent closed-loop clients. Each
+// client is one flow source; the consistent-hash front spreads them
+// over the fleet, so there must be comfortably more clients than fleet
+// members for every member to own some.
+const fleetClients = 24
+
+// fleetMeasure is how long the saturated fleet is sampled per size.
+const fleetMeasure = 400 * time.Millisecond
+
+// Fleet measures horizontal µproxy scale-out on the live stack: N
+// shared-nothing fleet members behind the flow-hashed front, each paced
+// at a fixed per-request service time, driven to saturation by
+// closed-loop clients. Aggregate delivered ops/s should grow near-
+// linearly with the member count.
+func Fleet(w io.Writer) error {
+	header(w, "Fleet scale-out: aggregate µproxy throughput",
+		"N shared-nothing µproxies over one ensemble, flows spread by the\n"+
+			"consistent-hash front; each member is paced (ServiceTime) so one\n"+
+			"machine exposes the fleet's aggregate capacity rather than raw\n"+
+			"single-core forwarding speed.")
+
+	t := newTable("proxies", "aggregate ops/s", "speedup", "ideal")
+	var base float64
+	for n := 1; n <= FleetProxies; n *= 2 {
+		rate, err := fleetRate(n)
+		if err != nil {
+			return fmt.Errorf("fleet (%d proxies): %w", n, err)
+		}
+		if n == 1 {
+			base = rate
+		}
+		t.addf("%d|%.0f|%.2fx|%dx", n, rate, rate/base, n)
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\n  (per-member pace %v -> one member tops out near %.0f ops/s)\n",
+		fleetServiceTime, 1/fleetServiceTime.Seconds())
+	return nil
+}
+
+// fleetRate saturates an n-member fleet and returns aggregate ops/s.
+func fleetRate(n int) (float64, error) {
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes:     2,
+		DirServers:       2,
+		SmallFileServers: 1,
+		Proxies:          n,
+		NameKind:         route.NameHashing,
+		ProxyServiceTime: fleetServiceTime,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+
+	stop := make(chan struct{})
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	var startWG sync.WaitGroup
+	startWG.Add(fleetClients)
+	begin := make(chan struct{})
+	for i := 0; i < fleetClients; i++ {
+		c, err := e.NewClient()
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return 0, err
+		}
+		defer c.Close()
+		fh, _, err := c.Create(c.Root(), fmt.Sprintf("probe%d", i), 0o644, false)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return 0, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			startWG.Done()
+			<-begin
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.GetAttr(fh); err != nil {
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	startWG.Wait()
+	close(begin)
+	time.Sleep(fleetMeasure)
+	total := ops.Load()
+	close(stop)
+	wg.Wait()
+	return float64(total) / fleetMeasure.Seconds(), nil
+}

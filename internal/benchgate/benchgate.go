@@ -31,9 +31,23 @@ type Metrics struct {
 	AllocsOp float64 `json:"allocs_op"`
 }
 
-// Baseline is the BENCH_proxy.json schema; only "current" gates.
+// RatioRule gates a scaling property between two benchmarks in the same
+// run: Scaled must be at least MinSpeedup times faster (ns/op) than Base
+// at the given CPU count. Both sides are measured on the same machine in
+// the same invocation, so — unlike the absolute ns/op gates — the ratio
+// needs no machine-noise tolerance and holds the speedup itself.
+type RatioRule struct {
+	Base       string  `json:"base"`
+	Scaled     string  `json:"scaled"`
+	CPU        string  `json:"cpu"`
+	MinSpeedup float64 `json:"min_speedup"`
+}
+
+// Baseline is the BENCH_proxy.json schema; only "current" and "ratios"
+// gate.
 type Baseline struct {
 	Current map[string]map[string]Metrics `json:"current"`
+	Ratios  []RatioRule                   `json:"ratios"`
 }
 
 // ParseBaseline decodes a BENCH_proxy.json.
@@ -185,6 +199,25 @@ func Check(w io.Writer, base *Baseline, results map[string]map[string][]Sample, 
 			}
 			fmt.Fprintf(w, "%-34s %-5s %12.1f %12.1f %10.0f %8.0f  %s\n",
 				name, cpu, got.NsOp, want.NsOp, got.BOp, got.AllocsOp, verdict)
+		}
+	}
+	if len(base.Ratios) > 0 {
+		fmt.Fprintf(w, "\n%-60s %9s %9s  verdict\n", "scaling ratio", "speedup", "min")
+		for _, r := range base.Ratios {
+			label := fmt.Sprintf("%s / %s @%s", r.Scaled, r.Base, r.CPU)
+			bs, ss := results[r.Base][r.CPU], results[r.Scaled][r.CPU]
+			if len(bs) == 0 || len(ss) == 0 {
+				failures = append(failures, fmt.Sprintf("ratio %s: not measured", label))
+				fmt.Fprintf(w, "%-60s %9s %9.2f  MISSING\n", label, "-", r.MinSpeedup)
+				continue
+			}
+			speedup := best(bs).NsOp / best(ss).NsOp
+			verdict := "ok"
+			if speedup < r.MinSpeedup {
+				verdict = fmt.Sprintf("FAIL: speedup %.2f < %.2f", speedup, r.MinSpeedup)
+				failures = append(failures, fmt.Sprintf("ratio %s: %s", label, verdict))
+			}
+			fmt.Fprintf(w, "%-60s %9.2f %9.2f  %s\n", label, speedup, r.MinSpeedup, verdict)
 		}
 	}
 	if len(failures) > 0 {

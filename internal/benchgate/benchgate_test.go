@@ -134,6 +134,80 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 	}
 }
 
+const fleetOutput = `goos: linux
+BenchmarkFleetForward/proxies=1-4 	    5000	     49742 ns/op	      20 B/op	       0 allocs/op
+BenchmarkFleetForward/proxies=2-4 	    5000	     27122 ns/op	      20 B/op	       0 allocs/op
+BenchmarkFleetForward/proxies=4-4 	    5000	     13613 ns/op	      23 B/op	       0 allocs/op
+BenchmarkFleetForward/proxies=8-4 	    5000	      8391 ns/op	      24 B/op	       0 allocs/op
+PASS
+`
+
+const fleetBaselineJSON = `{
+  "current": {
+    "BenchmarkFleetForward/proxies=1": {"cpu4": {"ns_op": 50000, "b_op": 20, "allocs_op": 0}},
+    "BenchmarkFleetForward/proxies=4": {"cpu4": {"ns_op": 13400, "b_op": 20, "allocs_op": 0}}
+  },
+  "ratios": [
+    {"base": "BenchmarkFleetForward/proxies=1", "scaled": "BenchmarkFleetForward/proxies=4", "cpu": "cpu4", "min_speedup": 3.2}
+  ]
+}`
+
+func TestRatioGatePasses(t *testing.T) {
+	base, err := ParseBaseline([]byte(fleetBaselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ParseBench(strings.NewReader(fleetOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Check(&buf, base, res, Config{}); err != nil {
+		t.Fatalf("ratio gate failed on 3.65x scaling: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "scaling ratio") {
+		t.Fatalf("verdict table has no ratio section:\n%s", buf.String())
+	}
+}
+
+func TestRatioGateFailsOnLostScaling(t *testing.T) {
+	base, err := ParseBaseline([]byte(fleetBaselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 proxies barely beating 1 — the shared-nothing property broke.
+	flat := strings.ReplaceAll(fleetOutput, "13613 ns/op", "40000 ns/op")
+	res, err := ParseBench(strings.NewReader(flat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = Check(&buf, base, res, Config{})
+	if err == nil {
+		t.Fatalf("ratio gate passed a 1.24x \"scale-out\":\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "speedup") {
+		t.Fatalf("failure does not name the lost speedup: %v", err)
+	}
+}
+
+func TestRatioGateFailsWhenSideMissing(t *testing.T) {
+	base, err := ParseBaseline([]byte(fleetBaselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := strings.ReplaceAll(fleetOutput, "proxies=4", "proxies=3")
+	res, err := ParseBench(strings.NewReader(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Check(&buf, base, res, Config{}); err == nil ||
+		!strings.Contains(err.Error(), "not measured") {
+		t.Fatalf("ratio gate did not flag a missing side: %v", err)
+	}
+}
+
 // TestRealBaselineParses guards the checked-in BENCH_proxy.json against
 // schema drift: the gate must always be able to load it.
 func TestRealBaselineParses(t *testing.T) {
@@ -156,5 +230,16 @@ func TestRealBaselineParses(t *testing.T) {
 					name, cpu, want.AllocsOp)
 			}
 		}
+	}
+	// The fleet scaling gate must stay in force: a 4-member fleet owes at
+	// least the paper's near-linear speedup over one member.
+	found := false
+	for _, r := range base.Ratios {
+		if r.Scaled == "BenchmarkFleetForward/proxies=4" && r.MinSpeedup >= 3.2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("baseline has no 4-proxy fleet ratio rule with min_speedup >= 3.2")
 	}
 }

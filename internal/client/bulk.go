@@ -110,10 +110,10 @@ func (c *Client) chunkRead(fh fhandle.Handle, off uint64, p []byte) (int, bool, 
 		cur := off + uint64(got)
 		args := nfsproto.ReadArgs{FH: fh, Offset: cur, Count: uint32(len(p) - got)}
 		var res nfsproto.ReadRes
-		err := c.call(nfsproto.ProcRead, &args, &res)
+		err := c.call(fh, nfsproto.ProcRead, &args, &res)
 		if errors.Is(err, oncrpc.ErrTimedOut) {
 			res = nfsproto.ReadRes{}
-			err = c.call(nfsproto.ProcRead, &args, &res)
+			err = c.call(fh, nfsproto.ProcRead, &args, &res)
 		}
 		if err != nil {
 			return got, false, err
@@ -143,10 +143,10 @@ func (c *Client) chunkWrite(fh fhandle.Handle, off uint64, data []byte, stabilit
 			Stable: stability, Data: data[written:],
 		}
 		var res nfsproto.WriteRes
-		err := c.call(nfsproto.ProcWrite, &args, &res)
+		err := c.call(fh, nfsproto.ProcWrite, &args, &res)
 		if errors.Is(err, oncrpc.ErrTimedOut) {
 			res = nfsproto.WriteRes{}
-			err = c.call(nfsproto.ProcWrite, &args, &res)
+			err = c.call(fh, nfsproto.ProcWrite, &args, &res)
 		}
 		if err != nil {
 			return err

@@ -24,6 +24,7 @@ import (
 
 	"slice/internal/attr"
 	"slice/internal/fhandle"
+	"slice/internal/front"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
 	"slice/internal/obs"
@@ -67,6 +68,14 @@ type Config struct {
 	// Obs, when set, receives window-occupancy and per-chunk-latency
 	// histograms for the bulk path.
 	Obs *obs.Registry
+	// Fleet, when set, routes each call to the µproxy owning its flow
+	// (consistent hash of this client's address and the file handle),
+	// re-resolving before every transmission: if that proxy dies and
+	// the fleet table swaps, the next retransmission of an in-flight
+	// call lands on the flow's new owner. Server then only names the
+	// fallback for an empty fleet. The client stays protocol-ordinary —
+	// the fleet is just an address book consulted at send time.
+	Fleet *front.Ring
 }
 
 // DefaultWindow is the bulk-I/O window depth when Config.Window is 0.
@@ -81,6 +90,7 @@ type Client struct {
 	cfg  Config
 	rpc  *oncrpc.Client
 	root fhandle.Handle
+	self netsim.Addr // this client's bound address, half of every flow key
 
 	// Bulk-I/O engine state (bulk.go). win is the window semaphore; a
 	// slot is held for the duration of each in-flight chunk RPC.
@@ -125,9 +135,13 @@ func NewWithConn(conn oncrpc.Conn, cfg Config) *Client {
 	if cfg.Readahead == 0 {
 		cfg.Readahead = cfg.Window
 	}
+	if cfg.Fleet != nil && cfg.RPC.ResolveKey == nil {
+		cfg.RPC.ResolveKey = cfg.Fleet.Resolve
+	}
 	c := &Client{
-		cfg: cfg,
-		rpc: oncrpc.NewClient(conn, cfg.Server, cfg.RPC),
+		cfg:  cfg,
+		self: conn.Addr(),
+		rpc:  oncrpc.NewClient(conn, cfg.Server, cfg.RPC),
 	}
 	c.bulkCnd = sync.NewCond(&c.bulkMu)
 	c.files = make(map[fhandle.Key]*fileIO)
@@ -154,13 +168,26 @@ func (c *Client) Close() {
 // Retransmissions exposes the RPC retransmission count for tests.
 func (c *Client) Retransmissions() uint64 { return c.rpc.Retransmissions() }
 
-// call issues one NFS procedure and decodes the reply.
-func (c *Client) call(proc nfsproto.Proc, args nfsproto.Msg, res nfsproto.Msg) error {
+// flowKey identifies the (client, file) flow of a call against fh, the
+// unit of µproxy affinity: all of one flow's calls resolve to one proxy,
+// so its soft state sees the whole stream. Handle-less traffic (MOUNT,
+// NULL) keys on the zero handle — its own flow, owned like any other.
+func (c *Client) flowKey(fh fhandle.Handle) uint64 {
+	if c.cfg.Fleet == nil {
+		return 0
+	}
+	return front.FlowKey(c.self, fhandle.HandleKey(fh))
+}
+
+// call issues one NFS procedure against fh and decodes the reply. fh is
+// the handle the operation targets (the directory for namespace ops);
+// it keys the flow that picks the owning µproxy.
+func (c *Client) call(fh fhandle.Handle, proc nfsproto.Proc, args nfsproto.Msg, res nfsproto.Msg) error {
 	var enc func(*xdr.Encoder)
 	if args != nil {
 		enc = args.Encode
 	}
-	body, err := c.rpc.Call(nfsproto.Program, nfsproto.Version, uint32(proc), enc)
+	body, err := c.rpc.CallKeyed(c.flowKey(fh), nfsproto.Program, nfsproto.Version, uint32(proc), enc)
 	if err != nil {
 		return err
 	}
@@ -172,7 +199,7 @@ func (c *Client) call(proc nfsproto.Proc, args nfsproto.Msg, res nfsproto.Msg) e
 
 // Mount retrieves the volume root handle.
 func (c *Client) Mount() error {
-	body, err := c.rpc.Call(mountProgram, mountVersion, mountProcMnt, nil)
+	body, err := c.rpc.CallKeyed(c.flowKey(fhandle.Handle{}), mountProgram, mountVersion, mountProcMnt, nil)
 	if err != nil {
 		return err
 	}
@@ -193,7 +220,7 @@ func (c *Client) Root() fhandle.Handle { return c.root }
 
 // Null issues the NULL procedure (a ping).
 func (c *Client) Null() error {
-	_, err := c.rpc.Call(nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcNull), nil)
+	_, err := c.rpc.CallKeyed(c.flowKey(fhandle.Handle{}), nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcNull), nil)
 	return err
 }
 
@@ -207,7 +234,7 @@ func (c *Client) GetAttr(fh fhandle.Handle) (attr.Attr, error) {
 		}
 	}
 	var res nfsproto.GetAttrRes
-	if err := c.call(nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: fh}, &res); err != nil {
+	if err := c.call(fh, nfsproto.ProcGetAttr, &nfsproto.GetAttrArgs{FH: fh}, &res); err != nil {
 		return attr.Attr{}, err
 	}
 	return res.Attr, res.Status.Error()
@@ -222,7 +249,7 @@ func (c *Client) SetAttr(fh fhandle.Handle, sa attr.SetAttr) (attr.Attr, error) 
 		c.invalidateRA(fh.Ident())
 	}
 	var res nfsproto.SetAttrRes
-	if err := c.call(nfsproto.ProcSetAttr, &nfsproto.SetAttrArgs{FH: fh, Sattr: sa}, &res); err != nil {
+	if err := c.call(fh, nfsproto.ProcSetAttr, &nfsproto.SetAttrArgs{FH: fh, Sattr: sa}, &res); err != nil {
 		return attr.Attr{}, err
 	}
 	return res.Attr.Attr, res.Status.Error()
@@ -237,7 +264,7 @@ func (c *Client) Truncate(fh fhandle.Handle, size uint64) error {
 // Access checks permissions (the prototype grants all requested bits).
 func (c *Client) Access(fh fhandle.Handle, mask uint32) (uint32, error) {
 	var res nfsproto.AccessRes
-	if err := c.call(nfsproto.ProcAccess, &nfsproto.AccessArgs{FH: fh, Access: mask}, &res); err != nil {
+	if err := c.call(fh, nfsproto.ProcAccess, &nfsproto.AccessArgs{FH: fh, Access: mask}, &res); err != nil {
 		return 0, err
 	}
 	return res.Access, res.Status.Error()
@@ -246,7 +273,7 @@ func (c *Client) Access(fh fhandle.Handle, mask uint32) (uint32, error) {
 // Lookup resolves name within dir.
 func (c *Client) Lookup(dir fhandle.Handle, name string) (fhandle.Handle, attr.Attr, error) {
 	var res nfsproto.LookupRes
-	if err := c.call(nfsproto.ProcLookup, &nfsproto.LookupArgs{Dir: dir, Name: name}, &res); err != nil {
+	if err := c.call(dir, nfsproto.ProcLookup, &nfsproto.LookupArgs{Dir: dir, Name: name}, &res); err != nil {
 		return fhandle.Handle{}, attr.Attr{}, err
 	}
 	return res.FH, res.Attr.Attr, res.Status.Error()
@@ -259,7 +286,7 @@ func (c *Client) Create(dir fhandle.Handle, name string, mode uint32, exclusive 
 		Sattr: attr.SetAttr{SetMode: true, Mode: mode},
 	}
 	var res nfsproto.CreateRes
-	if err := c.call(nfsproto.ProcCreate, &args, &res); err != nil {
+	if err := c.call(dir, nfsproto.ProcCreate, &args, &res); err != nil {
 		return fhandle.Handle{}, attr.Attr{}, err
 	}
 	return res.FH, res.Attr.Attr, res.Status.Error()
@@ -272,7 +299,7 @@ func (c *Client) Mkdir(dir fhandle.Handle, name string, mode uint32) (fhandle.Ha
 		Sattr: attr.SetAttr{SetMode: true, Mode: mode},
 	}
 	var res nfsproto.CreateRes
-	if err := c.call(nfsproto.ProcMkdir, &args, &res); err != nil {
+	if err := c.call(dir, nfsproto.ProcMkdir, &args, &res); err != nil {
 		return fhandle.Handle{}, attr.Attr{}, err
 	}
 	return res.FH, res.Attr.Attr, res.Status.Error()
@@ -288,7 +315,7 @@ func (c *Client) Remove(dir fhandle.Handle, name string) error {
 		}
 	}
 	var res nfsproto.RemoveRes
-	if err := c.call(nfsproto.ProcRemove, &nfsproto.RemoveArgs{Dir: dir, Name: name}, &res); err != nil {
+	if err := c.call(dir, nfsproto.ProcRemove, &nfsproto.RemoveArgs{Dir: dir, Name: name}, &res); err != nil {
 		return err
 	}
 	return res.Status.Error()
@@ -297,7 +324,7 @@ func (c *Client) Remove(dir fhandle.Handle, name string) error {
 // Rmdir removes an empty directory.
 func (c *Client) Rmdir(dir fhandle.Handle, name string) error {
 	var res nfsproto.RemoveRes
-	if err := c.call(nfsproto.ProcRmdir, &nfsproto.RemoveArgs{Dir: dir, Name: name}, &res); err != nil {
+	if err := c.call(dir, nfsproto.ProcRmdir, &nfsproto.RemoveArgs{Dir: dir, Name: name}, &res); err != nil {
 		return err
 	}
 	return res.Status.Error()
@@ -312,7 +339,7 @@ func (c *Client) Rename(fromDir fhandle.Handle, fromName string, toDir fhandle.H
 	}
 	args := nfsproto.RenameArgs{FromDir: fromDir, FromName: fromName, ToDir: toDir, ToName: toName}
 	var res nfsproto.RenameRes
-	if err := c.call(nfsproto.ProcRename, &args, &res); err != nil {
+	if err := c.call(fromDir, nfsproto.ProcRename, &args, &res); err != nil {
 		return err
 	}
 	return res.Status.Error()
@@ -321,7 +348,7 @@ func (c *Client) Rename(fromDir fhandle.Handle, fromName string, toDir fhandle.H
 // Link creates a hard link to fh named name in dir.
 func (c *Client) Link(fh, dir fhandle.Handle, name string) error {
 	var res nfsproto.LinkRes
-	if err := c.call(nfsproto.ProcLink, &nfsproto.LinkArgs{FH: fh, Dir: dir, Name: name}, &res); err != nil {
+	if err := c.call(fh, nfsproto.ProcLink, &nfsproto.LinkArgs{FH: fh, Dir: dir, Name: name}, &res); err != nil {
 		return err
 	}
 	return res.Status.Error()
@@ -333,7 +360,7 @@ func (c *Client) ReadDir(dir fhandle.Handle) ([]nfsproto.DirEntry, error) {
 	var cookie uint64
 	for {
 		var res nfsproto.ReadDirRes
-		err := c.call(nfsproto.ProcReadDir, &nfsproto.ReadDirArgs{
+		err := c.call(dir, nfsproto.ProcReadDir, &nfsproto.ReadDirArgs{
 			Dir: dir, Cookie: cookie, Count: 32 * 1024,
 		}, &res)
 		if err != nil {
@@ -353,7 +380,7 @@ func (c *Client) ReadDir(dir fhandle.Handle) ([]nfsproto.DirEntry, error) {
 // FsStat returns volume statistics.
 func (c *Client) FsStat(fh fhandle.Handle) (nfsproto.FsStatRes, error) {
 	var res nfsproto.FsStatRes
-	if err := c.call(nfsproto.ProcFsStat, &nfsproto.FsStatArgs{FH: fh}, &res); err != nil {
+	if err := c.call(fh, nfsproto.ProcFsStat, &nfsproto.FsStatArgs{FH: fh}, &res); err != nil {
 		return res, err
 	}
 	return res, res.Status.Error()
@@ -394,7 +421,7 @@ func (c *Client) serialRead(fh fhandle.Handle, off uint64, p []byte) (int, bool,
 			want = rem
 		}
 		var res nfsproto.ReadRes
-		err := c.call(nfsproto.ProcRead, &nfsproto.ReadArgs{FH: fh, Offset: cur, Count: want}, &res)
+		err := c.call(fh, nfsproto.ProcRead, &nfsproto.ReadArgs{FH: fh, Offset: cur, Count: want}, &res)
 		if err != nil {
 			return read, false, err
 		}
@@ -442,7 +469,7 @@ func (c *Client) serialWrite(fh fhandle.Handle, off uint64, p []byte, stable boo
 			Stable: stability, Data: p[written : written+want],
 		}
 		var res nfsproto.WriteRes
-		if err := c.call(nfsproto.ProcWrite, &args, &res); err != nil {
+		if err := c.call(fh, nfsproto.ProcWrite, &args, &res); err != nil {
 			return written, err
 		}
 		if res.Status != nfsproto.OK {
@@ -479,7 +506,7 @@ func (c *Client) Commit(fh fhandle.Handle) (uint64, error) {
 		}
 	}
 	var res nfsproto.CommitRes
-	if err := c.call(nfsproto.ProcCommit, &nfsproto.CommitArgs{FH: fh}, &res); err != nil {
+	if err := c.call(fh, nfsproto.ProcCommit, &nfsproto.CommitArgs{FH: fh}, &res); err != nil {
 		return 0, err
 	}
 	return res.Verf, res.Status.Error()
@@ -533,7 +560,7 @@ func (c *Client) MkdirAll(base fhandle.Handle, parts ...string) (fhandle.Handle,
 func (c *Client) Symlink(dir fhandle.Handle, name, target string) (fhandle.Handle, attr.Attr, error) {
 	args := nfsproto.SymlinkArgs{Dir: dir, Name: name, Target: target}
 	var res nfsproto.CreateRes
-	if err := c.call(nfsproto.ProcSymlink, &args, &res); err != nil {
+	if err := c.call(dir, nfsproto.ProcSymlink, &args, &res); err != nil {
 		return fhandle.Handle{}, attr.Attr{}, err
 	}
 	return res.FH, res.Attr.Attr, res.Status.Error()
@@ -542,7 +569,7 @@ func (c *Client) Symlink(dir fhandle.Handle, name, target string) (fhandle.Handl
 // ReadLink returns a symbolic link's target path.
 func (c *Client) ReadLink(fh fhandle.Handle) (string, error) {
 	var res nfsproto.ReadLinkRes
-	if err := c.call(nfsproto.ProcReadLink, &nfsproto.ReadLinkArgs{FH: fh}, &res); err != nil {
+	if err := c.call(fh, nfsproto.ProcReadLink, &nfsproto.ReadLinkArgs{FH: fh}, &res); err != nil {
 		return "", err
 	}
 	return res.Target, res.Status.Error()

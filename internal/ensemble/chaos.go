@@ -6,6 +6,7 @@ import (
 	"slice/internal/coord"
 	"slice/internal/dirsrv"
 	"slice/internal/netsim"
+	"slice/internal/proxy"
 	"slice/internal/route"
 	"slice/internal/smallfile"
 	"slice/internal/storage"
@@ -87,8 +88,75 @@ func (c *Chaos) RestartCoordinator(port uint16) (*coord.Coordinator, error) {
 		co.SetObs(c.e.obsCoord)
 	}
 	c.e.Coord = co
-	c.e.Proxy.SetCoord(addr)
+	// Re-point every live fleet member; a crashed proxy picks the new
+	// address up from RestartProxy's rebuild.
+	for _, p := range c.e.Proxies {
+		if p != nil {
+			p.SetCoord(addr)
+		}
+	}
 	return co, nil
+}
+
+// -------------------------------------------------------------- µproxies
+
+// CrashProxy kills µproxy i: its hosts (virtual address and client
+// ports) are torn down, every in-flight request it was brokering is
+// lost with its soft state, and the fleet table drops the member — the
+// front's failure detection, folded into one membership swap. Flows the
+// victim owned remap to the surviving siblings; in-flight calls reach
+// them on their next retransmission, new calls immediately.
+func (c *Chaos) CrashProxy(i int) {
+	if i < 0 || i >= len(c.e.Proxies) || c.e.Proxies[i] == nil {
+		return
+	}
+	c.e.Net.CrashHost(proxyVirtual(i).Host)
+	c.e.Net.CrashHost(proxyHost(i))
+	c.e.Proxies[i].Close()
+	c.e.Proxies[i] = nil
+	if i == 0 {
+		c.e.Proxy = nil
+	}
+	members := c.e.Fleet.Members()
+	survivors := make([]route.ProxyMember, 0, len(members))
+	for _, m := range members {
+		if m.ID != uint32(i) {
+			survivors = append(survivors, m)
+		}
+	}
+	c.e.Fleet.Swap(survivors)
+}
+
+// RestartProxy revives µproxy i on its original slot with empty soft
+// state — the architecture's whole point is that nothing else is needed
+// (§2.1). The member rejoins the fleet under its old ID, so consistent
+// hashing hands it back exactly the flows it owned before the crash,
+// and it reports under its old observability labels.
+func (c *Chaos) RestartProxy(i int) (*proxy.Proxy, error) {
+	if i < 0 || i >= len(c.e.Proxies) {
+		return nil, fmt.Errorf("ensemble: no proxy slot %d", i)
+	}
+	if c.e.Proxies[i] != nil {
+		return nil, fmt.Errorf("ensemble: proxy %d still running", i)
+	}
+	c.e.Net.RestartHost(proxyVirtual(i).Host)
+	c.e.Net.RestartHost(proxyHost(i))
+	reg, tracer := c.e.proxyObs(i)
+	p := c.e.newProxy(i, reg, tracer)
+	c.e.Proxies[i] = p
+	if i == 0 {
+		c.e.Proxy = p
+	}
+	members := c.e.Fleet.Members()
+	rejoined := make([]route.ProxyMember, 0, len(members)+1)
+	rejoined = append(rejoined, members...)
+	rejoined = append(rejoined, route.ProxyMember{
+		ID:      uint32(i),
+		Virtual: proxyVirtual(i),
+		Host:    proxyHost(i),
+	})
+	c.e.Fleet.Swap(rejoined)
+	return p, nil
 }
 
 // --------------------------------------------------- directory servers

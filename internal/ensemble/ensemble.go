@@ -13,6 +13,7 @@ import (
 	"slice/internal/coord"
 	"slice/internal/dirsrv"
 	"slice/internal/fhandle"
+	"slice/internal/front"
 	"slice/internal/netsim"
 	"slice/internal/obs"
 	"slice/internal/oncrpc"
@@ -25,8 +26,8 @@ import (
 
 // Host numbering plan for the fabric.
 const (
-	HostVirtual   = 100 // the virtual NFS server (no machine behind it)
-	HostProxy     = 99  // µproxy's own client ports
+	HostVirtual   = 100 // virtual server of µproxy i at HostVirtual+i (no machine behind it)
+	HostProxy     = 99  // µproxy i's own client ports at HostProxy-i
 	HostCoord     = 90
 	HostStorage0  = 10 // storage node i at HostStorage0+i
 	HostDir0      = 30 // directory server i at HostDir0+i
@@ -36,11 +37,29 @@ const (
 	CoordinatorPt = 3049
 )
 
+// MaxProxies bounds the fleet: proxy virtual hosts grow up from
+// HostVirtual and their client-port hosts grow down from HostProxy, and
+// both must stay clear of HostCoord.
+const MaxProxies = 8
+
+// proxyVirtual returns the virtual server address µproxy i presents.
+func proxyVirtual(i int) netsim.Addr {
+	return netsim.Addr{Host: HostVirtual + uint32(i), Port: ServicePort}
+}
+
+// proxyHost returns the host µproxy i binds its own client ports on.
+func proxyHost(i int) uint32 { return HostProxy - uint32(i) }
+
 // Config sizes and parameterizes an ensemble.
 type Config struct {
 	StorageNodes     int
 	DirServers       int
 	SmallFileServers int
+	// Proxies sizes the µproxy fleet (default 1, max MaxProxies). Every
+	// proxy interposes on its own virtual address over the same shared
+	// routing tables; clients pick the proxy owning each flow through
+	// the consistent-hash front.
+	Proxies int
 	// Coordinator enables the block-service coordinator.
 	Coordinator bool
 	// NameKind selects the name-space policy; MkdirP is the mkdir
@@ -71,6 +90,11 @@ type Config struct {
 	Clock func() attr.Time
 	// WritebackInterval for the µproxy attribute cache (0 = manual).
 	WritebackInterval time.Duration
+	// ProxyServiceTime, when positive, paces every fleet member at one
+	// request per ProxyServiceTime (proxy.Config.ServiceTime): a
+	// capacity model that makes fleet scale-out measurable on a single
+	// machine. Zero keeps the inline fast path.
+	ProxyServiceTime time.Duration
 	// CapabilityKey, when set, enables the §2.2 secure-object model:
 	// storage nodes verify keyed capabilities that the µproxy and
 	// coordinator stamp into storage-bound handles. Clients bypassing
@@ -80,7 +104,9 @@ type Config struct {
 
 // Ensemble is a running Slice deployment.
 type Ensemble struct {
-	Net     *netsim.Network
+	Net *netsim.Network
+	// Virtual is µproxy 0's virtual address, the address single-proxy
+	// code paths (gateways, examples) present to the outside.
 	Virtual netsim.Addr
 
 	Storage   []*storage.Node
@@ -90,13 +116,20 @@ type Ensemble struct {
 	SmallLogs []*wal.MemStore
 	Coord     *coord.Coordinator
 	CoordLog  *wal.MemStore
-	Proxy     *proxy.Proxy
+	// Proxy is µproxy 0; Proxies is the whole fleet (a crashed member
+	// is nil until restarted).
+	Proxy   *proxy.Proxy
+	Proxies []*proxy.Proxy
 
 	StorageTable *route.Table
 	DirTable     *route.Table
 	SmallTable   *route.Table
 	IOPolicy     *route.IOPolicy
 	NamePolicy   *route.NamePolicy
+	// Fleet is the versioned µproxy membership table; Front is the
+	// consistent-hash ring over it that clients resolve flows through.
+	Fleet *route.Fleet
+	Front *front.Ring
 
 	// Obs aggregates every component's histograms; Tracer archives the
 	// µproxy's per-request spans. Both are always on — recording is one
@@ -106,10 +139,13 @@ type Ensemble struct {
 	Tracer *obs.Tracer
 
 	obsProxy   *obs.Registry
+	obsProxies []*obs.Registry
 	obsCoord   *obs.Registry
 	obsDirs    []*obs.Registry
 	obsSmall   []*obs.Registry
 	obsStorage []*obs.Registry
+
+	proxyTracers []*obs.Tracer
 
 	Root       fhandle.Handle
 	cfg        Config
@@ -123,6 +159,12 @@ func New(cfg Config) (*Ensemble, error) {
 	}
 	if cfg.DirServers <= 0 {
 		cfg.DirServers = 1
+	}
+	if cfg.Proxies <= 0 {
+		cfg.Proxies = 1
+	}
+	if cfg.Proxies > MaxProxies {
+		return nil, fmt.Errorf("ensemble: %d proxies exceeds the host plan's limit of %d", cfg.Proxies, MaxProxies)
 	}
 	e := &Ensemble{
 		Net:     netsim.New(cfg.Net),
@@ -272,26 +314,89 @@ func New(cfg Config) (*Ensemble, error) {
 	}
 	e.NamePolicy = route.NewNamePolicy(cfg.NameKind, cfg.MkdirP, e.DirTable)
 
+	// The µproxy fleet: shared-nothing instances over the same routing
+	// tables. Sharing the Table objects is what makes fleet-wide
+	// reconfiguration coordinated — one Swap atomically moves every
+	// proxy to the same route-table version.
+	members := make([]route.ProxyMember, cfg.Proxies)
+	for i := 0; i < cfg.Proxies; i++ {
+		members[i] = route.ProxyMember{
+			ID:      uint32(i),
+			Virtual: proxyVirtual(i),
+			Host:    proxyHost(i),
+		}
+	}
+	e.Fleet = route.NewFleet(members)
+	e.Front = front.NewRing(e.Fleet, 0)
+	for i := 0; i < cfg.Proxies; i++ {
+		reg, tracer := e.proxyObs(i)
+		e.Proxies = append(e.Proxies, e.newProxy(i, reg, tracer))
+	}
+	e.Proxy = e.Proxies[0]
+	return e, nil
+}
+
+// NewFleet builds an ensemble fronted by n µproxies, with every other
+// parameter at its cfg value.
+func NewFleet(n int, cfg Config) (*Ensemble, error) {
+	cfg.Proxies = n
+	return New(cfg)
+}
+
+// proxyObs builds (or, across restarts, rebuilds) µproxy i's registry
+// and tracer, registered with the collector under its stable name —
+// proxy 0 keeps the bare "uproxy" name single-proxy tooling expects.
+// AddRegistry/AddTracer replace same-name entries, so a restarted proxy
+// reports under its old label.
+func (e *Ensemble) proxyObs(i int) (*obs.Registry, *obs.Tracer) {
+	name := "uproxy"
+	if i > 0 {
+		name = fmt.Sprintf("uproxy[%d]", i)
+	}
+	reg := obs.NewRegistry(name)
+	e.Obs.AddRegistry(reg)
+	if i == 0 {
+		e.obsProxy = reg
+	}
+	for len(e.obsProxies) <= i {
+		e.obsProxies = append(e.obsProxies, nil)
+	}
+	e.obsProxies[i] = reg
+	for len(e.proxyTracers) <= i {
+		e.proxyTracers = append(e.proxyTracers, nil)
+	}
+	if e.proxyTracers[i] == nil {
+		if i == 0 {
+			e.proxyTracers[0] = e.Tracer
+		} else {
+			e.proxyTracers[i] = obs.NewTracer(512)
+			e.Obs.AddTracer(name, e.proxyTracers[i])
+		}
+	}
+	return reg, e.proxyTracers[i]
+}
+
+// newProxy starts µproxy i on its slot in the host plan.
+func (e *Ensemble) newProxy(i int, reg *obs.Registry, tracer *obs.Tracer) *proxy.Proxy {
 	var coordAddr netsim.Addr
 	if e.Coord != nil {
 		coordAddr = e.Coord.Addr()
 	}
-	e.obsProxy = obs.NewRegistry("uproxy")
-	e.Obs.AddRegistry(e.obsProxy)
-	e.Proxy = proxy.New(proxy.Config{
+	return proxy.New(proxy.Config{
 		Net:               e.Net,
-		Host:              HostProxy,
-		Virtual:           e.Virtual,
+		Host:              proxyHost(i),
+		Virtual:           proxyVirtual(i),
+		ID:                uint32(i),
 		IO:                e.IOPolicy,
 		Names:             e.NamePolicy,
 		Coord:             coordAddr,
-		WritebackInterval: cfg.WritebackInterval,
-		CapKey:            cfg.CapabilityKey,
-		Obs:               e.obsProxy,
-		Tracer:            e.Tracer,
+		ServiceTime:       e.cfg.ProxyServiceTime,
+		WritebackInterval: e.cfg.WritebackInterval,
+		CapKey:            e.cfg.CapabilityKey,
+		Obs:               reg,
+		Tracer:            tracer,
 		StatsFn:           e.serveStats,
 	})
-	return e, nil
 }
 
 // serveStats answers the absorbed stats RPC program (obs.Program) from
@@ -340,6 +445,7 @@ func (e *Ensemble) newClient(window int) (*client.Client, error) {
 		RPC:        e.cfg.ClientRPC,
 		Window:     window,
 		Obs:        reg,
+		Fleet:      e.Front,
 	})
 	if err != nil {
 		return nil, err
@@ -353,8 +459,10 @@ func (e *Ensemble) newClient(window int) (*client.Client, error) {
 
 // Close stops every component.
 func (e *Ensemble) Close() {
-	if e.Proxy != nil {
-		e.Proxy.Close()
+	for _, p := range e.Proxies {
+		if p != nil {
+			p.Close()
+		}
 	}
 	if e.Coord != nil {
 		e.Coord.Close()

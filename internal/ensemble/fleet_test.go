@@ -1,0 +1,175 @@
+package ensemble
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"slice/internal/oncrpc"
+	"slice/internal/route"
+)
+
+// TestFleetServesAcrossProxies runs a workload through a 4-proxy fleet
+// and checks both correctness (every operation lands) and distribution
+// (more than one proxy actually carried traffic — the flow hash spreads
+// clients over the fleet instead of funneling them through one member).
+func TestFleetServesAcrossProxies(t *testing.T) {
+	e := newTest(t, func(cfg *Config) { cfg.Proxies = 4 })
+	if len(e.Proxies) != 4 || e.Fleet.Len() != 4 {
+		t.Fatalf("fleet size = %d proxies, %d members", len(e.Proxies), e.Fleet.Len())
+	}
+	// Several clients, each writing and reading its own file tree.
+	payload := bytes.Repeat([]byte("fleet"), 64*1024) // crosses the bulk threshold
+	for i := 0; i < 4; i++ {
+		c, err := e.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, _, err := c.Mkdir(c.Root(), fmt.Sprintf("d%d", i), 0o755)
+		if err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		fh, _, err := c.Create(dir, "data", 0o644, false)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if err := c.WriteFile(fh, payload); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := c.ReadAll(fh)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("read back: %d bytes, err %v", len(got), err)
+		}
+		c.Close()
+	}
+	busy := 0
+	for i, p := range e.Proxies {
+		if n := p.Stats().Requests; n > 0 {
+			busy++
+			t.Logf("proxy %d forwarded %d requests", i, n)
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d of 4 proxies carried traffic; flows are not spreading", busy)
+	}
+}
+
+// TestFleetCoordinatedRouteSwap checks the coordinated-retarget
+// property: the fleet shares its routing tables, so one Swap moves
+// every member to the identical route-table version — no member can
+// keep forwarding by the superseded binding.
+func TestFleetCoordinatedRouteSwap(t *testing.T) {
+	e := newTest(t, func(cfg *Config) { cfg.Proxies = 4 })
+	before := e.Proxies[0].RouteVersion()
+	for i, p := range e.Proxies {
+		if v := p.RouteVersion(); v != before {
+			t.Fatalf("proxy %d at route version %d, proxy 0 at %d", i, v, before)
+		}
+	}
+	e.DirTable.Swap(e.DirTable.Physical())
+	for i, p := range e.Proxies {
+		if v := p.RouteVersion(); v != before+1 {
+			t.Fatalf("after swap, proxy %d at route version %d, want %d", i, v, before+1)
+		}
+	}
+}
+
+// TestProxyCrashDoesNotStrandRequest is the pinned-resolution
+// regression test: a call in flight when its owning proxy dies must
+// reach a sibling by ordinary retransmission — before the fix, the
+// client resolved its proxy at mount time and every retry of that call
+// hammered the corpse until the RPC budget ran out.
+func TestProxyCrashDoesNotStrandRequest(t *testing.T) {
+	e := newTest(t, func(cfg *Config) {
+		cfg.Proxies = 2
+		cfg.ClientRPC = oncrpc.ClientConfig{Timeout: 25 * time.Millisecond, Retries: 9}
+	})
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fh, _, err := c.Create(c.Root(), "f", 0o644, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the proxy owning this file's flow: probe with the same call
+	// the test will strand, and see whose request counter moves.
+	before := make([]uint64, len(e.Proxies))
+	for i, p := range e.Proxies {
+		before[i] = p.Stats().Requests
+	}
+	if _, err := c.GetAttr(fh); err != nil {
+		t.Fatal(err)
+	}
+	owner := -1
+	for i, p := range e.Proxies {
+		if p.Stats().Requests > before[i] {
+			owner = i
+		}
+	}
+	if owner < 0 {
+		t.Fatal("no proxy carried the probe request")
+	}
+
+	// The owner dies before the call's first transmission (Close is what
+	// CrashProxy does first, so this is the same fault with deterministic
+	// timing), but the fleet table has not noticed yet: the transmission
+	// blackholes exactly as it would against a freshly dead machine. The
+	// membership swap lands 10ms in — before the first 25ms retransmit —
+	// so that same in-flight call must fail over to the sibling.
+	e.Proxies[owner].Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetAttr(fh)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	e.Chaos().CrashProxy(owner)
+	if err := <-done; err != nil {
+		t.Fatalf("request stranded by proxy crash: %v", err)
+	}
+	if c.Retransmissions() == 0 {
+		t.Fatal("call completed without retransmission; crash timing did not exercise failover")
+	}
+
+	// The sibling keeps serving new flows too.
+	if _, _, err := c.Create(c.Root(), "g", 0o644, false); err != nil {
+		t.Fatalf("create after failover: %v", err)
+	}
+}
+
+// TestProxyRestartRejoinsFleet crashes a member, verifies the fleet
+// table shrank, restarts it, and checks it takes traffic again under
+// its old identity.
+func TestProxyRestartRejoinsFleet(t *testing.T) {
+	e := newTest(t, func(cfg *Config) {
+		cfg.Proxies = 2
+		cfg.ClientRPC = oncrpc.ClientConfig{Timeout: 25 * time.Millisecond, Retries: 9}
+	})
+	ver := e.Fleet.Version()
+	e.Chaos().CrashProxy(1)
+	if e.Fleet.Len() != 1 || e.Fleet.Version() != ver+1 {
+		t.Fatalf("after crash: %d members at version %d", e.Fleet.Len(), e.Fleet.Version())
+	}
+	if _, err := e.Chaos().RestartProxy(1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fleet.Len() != 2 {
+		t.Fatalf("after restart: %d members", e.Fleet.Len())
+	}
+	if m, ok := e.Fleet.Member(1); !ok || m.Virtual != (route.ProxyMember{ID: 1, Virtual: proxyVirtual(1), Host: proxyHost(1)}).Virtual {
+		t.Fatalf("restarted member = %+v, %v", m, ok)
+	}
+	// A fresh client mounts and works against the full fleet.
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Create(c.Root(), "h", 0o644, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package front
+
+import (
+	"testing"
+
+	"slice/internal/netsim"
+	"slice/internal/route"
+)
+
+func testMembers(n int) []route.ProxyMember {
+	ms := make([]route.ProxyMember, n)
+	for i := range ms {
+		ms[i] = route.ProxyMember{
+			ID:      uint32(i),
+			Virtual: netsim.Addr{Host: 100 + uint32(i), Port: 2049},
+			Host:    99 - uint32(i),
+		}
+	}
+	return ms
+}
+
+// testFlows synthesizes flow keys as the client population would: many
+// clients, each touching many handles.
+func testFlows(n int) []uint64 {
+	keys := make([]uint64, 0, n)
+	clients := 64
+	perClient := (n + clients - 1) / clients
+	for c := 0; c < clients && len(keys) < n; c++ {
+		addr := netsim.Addr{Host: 200 + uint32(c), Port: 5000}
+		for f := 0; f < perClient && len(keys) < n; f++ {
+			keys = append(keys, FlowKey(addr, uint64(f)*7919))
+		}
+	}
+	return keys
+}
+
+// TestRingBalance pins Chord's "roughly equal share" bound: with 8
+// proxies and 10k flows, no proxy owns more than 1.35x the mean share.
+func TestRingBalance(t *testing.T) {
+	fleet := route.NewFleet(testMembers(8))
+	ring := NewRing(fleet, 0)
+	flows := testFlows(10000)
+
+	counts := make(map[uint32]int)
+	for _, k := range flows {
+		m, ok := ring.Owner(k)
+		if !ok {
+			t.Fatal("empty ring")
+		}
+		counts[m.ID]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d of 8 proxies own flows", len(counts))
+	}
+	mean := float64(len(flows)) / 8
+	for id, c := range counts {
+		if ratio := float64(c) / mean; ratio > 1.35 {
+			t.Errorf("proxy %d owns %d flows, %.2fx the mean (limit 1.35x)", id, c, ratio)
+		}
+	}
+}
+
+// TestRingMinimalMovement checks consistent hashing's defining
+// property: removing a member moves only the flows it owned, and
+// adding it back moves only flows that now belong to it — survivors'
+// flows never shuffle among themselves.
+func TestRingMinimalMovement(t *testing.T) {
+	members := testMembers(8)
+	fleet := route.NewFleet(members)
+	ring := NewRing(fleet, 0)
+	flows := testFlows(10000)
+
+	before := make([]uint32, len(flows))
+	for i, k := range flows {
+		m, _ := ring.Owner(k)
+		before[i] = m.ID
+	}
+
+	// Leave: crash proxy 3.
+	const crashed = 3
+	var without []route.ProxyMember
+	for _, m := range members {
+		if m.ID != crashed {
+			without = append(without, m)
+		}
+	}
+	fleet.Swap(without)
+	moved := 0
+	for i, k := range flows {
+		m, _ := ring.Owner(k)
+		if m.ID != before[i] {
+			if before[i] != crashed {
+				t.Fatalf("flow %d moved from surviving proxy %d to %d", i, before[i], m.ID)
+			}
+			moved++
+		} else if before[i] == crashed {
+			t.Fatalf("flow %d still routed to crashed proxy %d", i, crashed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no flows moved after a member left")
+	}
+
+	// Join: the proxy restarts with the same ID; exactly its old flows
+	// come home, and nothing else budges.
+	fleet.Swap(members)
+	for i, k := range flows {
+		m, _ := ring.Owner(k)
+		if m.ID != before[i] {
+			t.Fatalf("flow %d owned by %d after rejoin, was %d before the crash", i, m.ID, before[i])
+		}
+	}
+}
+
+// TestRingTracksFleetVersion checks the lazy rebuild: lookups against a
+// swapped fleet see the new membership without any explicit refresh.
+func TestRingTracksFleetVersion(t *testing.T) {
+	fleet := route.NewFleet(testMembers(2))
+	ring := NewRing(fleet, 0)
+	key := FlowKey(netsim.Addr{Host: 300, Port: 6000}, 42)
+
+	first, ok := ring.Owner(key)
+	if !ok {
+		t.Fatal("empty ring")
+	}
+	// Collapse to the other member alone; the flow must follow.
+	other := testMembers(2)[1-first.ID]
+	fleet.Swap([]route.ProxyMember{other})
+	m, ok := ring.Owner(key)
+	if !ok || m.ID != other.ID {
+		t.Fatalf("after swap, owner = %+v ok=%v, want member %d", m, ok, other.ID)
+	}
+
+	fleet.Swap(nil)
+	if _, ok := ring.Owner(key); ok {
+		t.Fatal("owner resolved against an empty fleet")
+	}
+	if a := ring.Resolve(key); a != (netsim.Addr{}) {
+		t.Fatalf("Resolve on empty fleet = %v, want zero", a)
+	}
+}
+
+// TestFleetTable covers the membership table itself: versioning,
+// ID-sorted snapshots, and member lookup.
+func TestFleetTable(t *testing.T) {
+	ms := testMembers(3)
+	// Feed members out of order; snapshots come back ID-sorted.
+	fleet := route.NewFleet([]route.ProxyMember{ms[2], ms[0], ms[1]})
+	if v := fleet.Version(); v != 1 {
+		t.Fatalf("fresh fleet version = %d, want 1", v)
+	}
+	got := fleet.Members()
+	if len(got) != 3 || got[0].ID != 0 || got[1].ID != 1 || got[2].ID != 2 {
+		t.Fatalf("members not ID-sorted: %+v", got)
+	}
+	if m, ok := fleet.Member(2); !ok || m.Virtual != ms[2].Virtual {
+		t.Fatalf("Member(2) = %+v, %v", m, ok)
+	}
+	if _, ok := fleet.Member(9); ok {
+		t.Fatal("Member(9) found in a 3-member fleet")
+	}
+	fleet.Swap(ms[:2])
+	if v := fleet.Version(); v != 2 {
+		t.Fatalf("version after swap = %d, want 2", v)
+	}
+	if fleet.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", fleet.Len())
+	}
+}

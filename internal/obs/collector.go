@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -152,6 +153,29 @@ func (s ClusterSnapshot) MergeOpClass(name string) HistSnapshot {
 		}
 	}
 	return out
+}
+
+// MergeRole folds every component filling one role — the bare role name
+// or its fleet-indexed instances ("uproxy", "uproxy[1]", ...) — into a
+// single synthetic component named as. Per-instance snapshots stay in
+// the cluster snapshot untouched; the aggregate is the fleet-wide view
+// of a scaled-out role. Returns the aggregate and how many instances
+// contributed.
+func (s ClusterSnapshot) MergeRole(role, as string) (RegistrySnapshot, int) {
+	out := RegistrySnapshot{Component: as, Hists: make(map[string]HistSnapshot)}
+	n := 0
+	for _, comp := range s.Components {
+		if comp.Component != role && !strings.HasPrefix(comp.Component, role+"[") {
+			continue
+		}
+		n++
+		for name, h := range comp.Hists {
+			m := out.Hists[name]
+			m.Merge(h)
+			out.Hists[name] = m
+		}
+	}
+	return out, n
 }
 
 // Component returns the named component's snapshot, if present.

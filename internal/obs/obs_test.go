@@ -190,6 +190,35 @@ func TestRegistryAndCollector(t *testing.T) {
 	}
 }
 
+func TestMergeRole(t *testing.T) {
+	c := NewCollector()
+	p0 := NewRegistry("uproxy")
+	p1 := NewRegistry("uproxy[1]")
+	d := NewRegistry("dirsrv[0]")
+	p0.Hist("e2e.nfs.lookup").Record(1000)
+	p0.Hist("e2e.nfs.lookup").Record(2000)
+	p1.Hist("e2e.nfs.lookup").Record(4000)
+	p1.Hist("e2e.nfs.create").Record(4000)
+	d.Hist("e2e.nfs.lookup").Record(8000) // other role: must not leak in
+	c.AddRegistry(p0)
+	c.AddRegistry(p1)
+	c.AddRegistry(d)
+
+	fleet, n := c.Snapshot().MergeRole("uproxy", "uproxy(fleet)")
+	if n != 2 {
+		t.Fatalf("merged %d instances, want 2", n)
+	}
+	if fleet.Component != "uproxy(fleet)" {
+		t.Fatalf("aggregate named %q", fleet.Component)
+	}
+	if got := fleet.Hists["e2e.nfs.lookup"].Count(); got != 3 {
+		t.Fatalf("aggregate lookup count = %d, want 3 (dirsrv leaked in?)", got)
+	}
+	if got := fleet.Hists["e2e.nfs.create"].Count(); got != 1 {
+		t.Fatalf("aggregate create count = %d, want 1", got)
+	}
+}
+
 func TestTracerSpans(t *testing.T) {
 	tr := NewTracer(64)
 	start := time.Now().UnixNano()

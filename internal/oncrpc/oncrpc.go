@@ -179,6 +179,17 @@ type Conn interface {
 // thread-safe.
 type Resolver func() netsim.Addr
 
+// KeyResolver resolves the destination of one transmission from the
+// call's flow key — the hook the flow-hashing front plugs into: keyed
+// calls re-resolve before every transmission, so when the proxy owning
+// a flow crashes and the fleet table swaps, the very next
+// retransmission lands on the flow's new owner. A zero return falls
+// back to the plain Resolver, then to the static server address. Key 0
+// is an ordinary flow key (mount-time traffic uses it), not a
+// sentinel. KeyResolvers are called concurrently and must be
+// thread-safe and allocation-free: they run on the bulk I/O fast path.
+type KeyResolver func(key uint64) netsim.Addr
+
 // ClientConfig tunes RPC client behaviour.
 type ClientConfig struct {
 	// Timeout is the initial retransmission timeout (default 50ms).
@@ -198,6 +209,10 @@ type ClientConfig struct {
 	XidSeed uint32
 	// Resolve, when non-nil, overrides the server address per transmission.
 	Resolve Resolver
+	// ResolveKey, when non-nil, overrides the server address per
+	// transmission for keyed calls (CallKeyed/CallStartKeyed), taking
+	// precedence over Resolve when it returns a non-zero address.
+	ResolveKey KeyResolver
 }
 
 func (c *ClientConfig) defaults() {
@@ -299,8 +314,14 @@ func NewClient(port Conn, server netsim.Addr, cfg ClientConfig) *Client {
 // Resolver may override it per transmission).
 func (c *Client) Server() netsim.Addr { return c.server }
 
-// target resolves the destination for one transmission.
-func (c *Client) target() netsim.Addr {
+// target resolves the destination for one transmission of the call
+// with the given flow key.
+func (c *Client) target(key uint64) netsim.Addr {
+	if c.cfg.ResolveKey != nil {
+		if a := c.cfg.ResolveKey(key); !a.IsZero() {
+			return a
+		}
+	}
 	if c.cfg.Resolve != nil {
 		if a := c.cfg.Resolve(); !a.IsZero() {
 			return a
@@ -384,7 +405,16 @@ func (c *Client) recvLoop() {
 // Call issues proc of prog/vers with the encoded args and returns the
 // reply body. It retransmits on timeout.
 func (c *Client) Call(prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte, error) {
-	return c.call(prog, vers, proc, args, 0, false)
+	return c.call(0, prog, vers, proc, args, 0, false)
+}
+
+// CallKeyed issues a call tagged with a flow key: every transmission —
+// including retransmissions — resolves its destination through the
+// configured ResolveKey, so the call follows its flow's owner across
+// fleet reconfigurations. Without a ResolveKey it behaves exactly like
+// Call.
+func (c *Client) CallKeyed(key uint64, prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte, error) {
+	return c.call(key, prog, vers, proc, args, 0, false)
 }
 
 // CallTraced issues a call carrying the optional trace trailer, tying
@@ -392,10 +422,10 @@ func (c *Client) Call(prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte,
 // that predate the trace field ignore the trailer; the reply body may
 // end with a reply trailer readable via PeekReplyTrace.
 func (c *Client) CallTraced(traceID uint64, prog, vers, proc uint32, args func(*xdr.Encoder)) ([]byte, error) {
-	return c.call(prog, vers, proc, args, traceID, true)
+	return c.call(0, prog, vers, proc, args, traceID, true)
 }
 
-func (c *Client) call(prog, vers, proc uint32, args func(*xdr.Encoder), traceID uint64, traced bool) ([]byte, error) {
+func (c *Client) call(key uint64, prog, vers, proc uint32, args func(*xdr.Encoder), traceID uint64, traced bool) ([]byte, error) {
 	xid, ch, err := c.register()
 	if err != nil {
 		return nil, err
@@ -405,23 +435,23 @@ func (c *Client) call(prog, vers, proc uint32, args func(*xdr.Encoder), traceID 
 	if traced {
 		payload = AppendCallTrace(payload, traceID)
 	}
-	return c.transact(proc, payload, ch)
+	return c.transact(key, proc, payload, ch)
 }
 
 // transact runs the retransmit/timeout loop for one registered call. It
 // is shared by the synchronous and asynchronous call paths, so every
 // concurrent call gets the same backoff, jitter, and re-resolve
 // behaviour.
-func (c *Client) transact(proc uint32, payload []byte, ch chan Reply) ([]byte, error) {
+func (c *Client) transact(key uint64, proc uint32, payload []byte, ch chan Reply) ([]byte, error) {
 	timeout := c.cfg.Timeout
-	dst := c.target()
+	dst := c.target(key)
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.retransmissions.Add(1)
 			// Re-resolve before every retransmission: if the server was
 			// restarted elsewhere while we waited, the retry goes to the
 			// replacement instead of the corpse.
-			dst = c.target()
+			dst = c.target(key)
 		}
 		if err := c.port.SendTo(dst, payload); err != nil {
 			return nil, err
@@ -468,6 +498,13 @@ type pendingResult struct {
 // run in the background exactly as for Call; any number of calls may be
 // in flight concurrently on one client, bounded only by the caller.
 func (c *Client) CallStart(prog, vers, proc uint32, args func(*xdr.Encoder)) *Pending {
+	return c.CallStartKeyed(0, prog, vers, proc, args)
+}
+
+// CallStartKeyed is CallStart with a flow key: the asynchronous form of
+// CallKeyed, re-resolving the destination through ResolveKey before
+// every transmission.
+func (c *Client) CallStartKeyed(key uint64, prog, vers, proc uint32, args func(*xdr.Encoder)) *Pending {
 	p := &Pending{done: make(chan pendingResult, 1)}
 	xid, ch, err := c.register()
 	if err != nil {
@@ -476,7 +513,7 @@ func (c *Client) CallStart(prog, vers, proc uint32, args func(*xdr.Encoder)) *Pe
 	}
 	payload := EncodeCall(xid, prog, vers, proc, args)
 	go func() {
-		body, err := c.transact(proc, payload, ch)
+		body, err := c.transact(key, proc, payload, ch)
 		c.unregister(xid)
 		p.done <- pendingResult{body: body, err: err}
 	}()

@@ -391,6 +391,75 @@ func TestResolverRetargetsRestartedServer(t *testing.T) {
 	}
 }
 
+// TestKeyResolverRoutesByFlow: keyed calls route through ResolveKey per
+// flow key, fall back to the static server for unknown keys, and
+// re-resolve per retransmission — so when a flow's owner dies mid-call
+// and the key remaps, the retry lands on the sibling.
+func TestKeyResolverRoutesByFlow(t *testing.T) {
+	var execA, execB atomic.Uint64
+	n := netsim.New(netsim.Config{})
+	pa, _ := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	srvA := NewServer(pa, countingHandler(&execA))
+	defer srvA.Close()
+	pb, _ := n.Bind(netsim.Addr{Host: 3, Port: 2049})
+	srvB := NewServer(pb, countingHandler(&execB))
+	defer srvB.Close()
+
+	// Flow 1 -> A, flow 2 -> B, behind an atomic table so the test can
+	// remap mid-call.
+	var owners [3]atomic.Value // netsim.Addr per flow key
+	owners[1].Store(srvA.Addr())
+	owners[2].Store(srvB.Addr())
+	cp, _ := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	cli := NewClient(cp, srvA.Addr(), ClientConfig{
+		Timeout: 20 * time.Millisecond,
+		Retries: 8,
+		ResolveKey: func(key uint64) netsim.Addr {
+			if key < uint64(len(owners)) {
+				if a, ok := owners[key].Load().(netsim.Addr); ok {
+					return a
+				}
+			}
+			return netsim.Addr{} // fall back to the static server
+		},
+	})
+	defer cli.Close()
+
+	if _, err := cli.CallKeyed(2, 7, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if execB.Load() != 1 || execA.Load() != 0 {
+		t.Fatalf("keyed call misrouted: A=%d B=%d", execA.Load(), execB.Load())
+	}
+	// An unmapped key falls back to the static server (A).
+	if _, err := cli.CallKeyed(0, 7, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if execA.Load() != 1 {
+		t.Fatalf("fallback call misrouted: A=%d B=%d", execA.Load(), execB.Load())
+	}
+
+	// Kill flow 1's owner, then remap the flow to B mid-call: the
+	// retransmission must follow the key to the sibling.
+	srvA.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.CallKeyed(1, 7, 1, 2, nil)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	owners[1].Store(srvB.Addr())
+	if err := <-done; err != nil {
+		t.Fatalf("keyed call did not fail over: %v", err)
+	}
+	if cli.Retransmissions() == 0 {
+		t.Fatal("expected the keyed failover to happen via retransmission")
+	}
+	if execB.Load() != 2 {
+		t.Fatalf("sibling did not absorb the failed-over call: B=%d", execB.Load())
+	}
+}
+
 // FuzzParse ensures the RPC header parsers never panic on hostile bytes —
 // they run on every datagram a server or µproxy receives.
 func FuzzParse(f *testing.F) {

@@ -33,6 +33,21 @@ type Config struct {
 	Host uint32
 	// Virtual is the virtual NFS server address presented to clients.
 	Virtual netsim.Addr
+	// ID is this instance's stable fleet identity (route.ProxyMember.ID).
+	// A single-proxy deployment leaves it 0.
+	ID uint32
+	// ServiceTime, when positive, meters the request path through a
+	// single paced service loop at one request per ServiceTime — a
+	// capacity model for a µproxy core: one instance saturates at
+	// 1/ServiceTime forwarded ops/s, so fleet scaling is measurable on
+	// any host, independent of how many real CPUs back the simulation.
+	// Zero (the default) keeps the inline fast path: requests are
+	// processed on the sender's goroutine with no added cost.
+	ServiceTime time.Duration
+	// ServiceQueue bounds the paced loop's ingress queue (default 256).
+	// Requests arriving at a full queue are dropped — an overloaded
+	// router sheds load and clients retransmit, as §2.1 prescribes.
+	ServiceQueue int
 	// IO routes read/write/commit traffic.
 	IO *route.IOPolicy
 	// Names routes name-space and attribute traffic.
@@ -175,6 +190,10 @@ type Proxy struct {
 	// failover instead of timing out against the dead one.
 	coordCli *oncrpc.Client
 
+	// workCh feeds the paced service loop; nil when ServiceTime is 0
+	// and requests are processed inline.
+	workCh chan []byte
+
 	tapTok    *netsim.TapToken
 	st        stageCounters
 	hists     *proxyHists // nil when cfg.Obs is nil
@@ -203,6 +222,15 @@ func New(cfg Config) *Proxy {
 	for i := range p.shards {
 		p.shards[i].pend = make(map[pendKey]*pendingReq)
 	}
+	if cfg.ServiceTime > 0 {
+		depth := cfg.ServiceQueue
+		if depth <= 0 {
+			depth = 256
+		}
+		p.workCh = make(chan []byte, depth)
+		p.wg.Add(1)
+		go p.serviceLoop()
+	}
 	p.tapTok = cfg.Net.AddTap(p)
 	if cfg.WritebackInterval > 0 {
 		p.wg.Add(1)
@@ -229,6 +257,12 @@ func (p *Proxy) Close() {
 	})
 }
 
+// ID returns the µproxy's fleet identity.
+func (p *Proxy) ID() uint32 { return p.cfg.ID }
+
+// Virtual returns the virtual server address this instance answers.
+func (p *Proxy) Virtual() netsim.Addr { return p.cfg.Virtual }
+
 // coord returns the coordinator address currently in effect.
 func (p *Proxy) coord() netsim.Addr { return *p.coordAddr.Load() }
 
@@ -246,6 +280,12 @@ func (p *Proxy) routeVersion() uint64 {
 	}
 	return v
 }
+
+// RouteVersion exposes the folded routing-table version. Every proxy in
+// a fleet shares the same Table objects, so a reconfiguration Swap moves
+// all of them to the new version in one atomic store — the coordinated
+// retarget the shared-nothing design gets for free.
+func (p *Proxy) RouteVersion() uint64 { return p.routeVersion() }
 
 // Stats returns a snapshot of the per-stage CPU accounting.
 func (p *Proxy) Stats() StageStats { return p.st.snapshot() }
@@ -329,6 +369,17 @@ func (p *Proxy) Handle(d []byte) netsim.Verdict {
 
 	if dst == p.cfg.Virtual && mtype == oncrpc.MsgCall {
 		p.st.interceptNS.Add(uint64(time.Since(t0)))
+		if p.workCh != nil {
+			// Paced mode: hand the request to the service loop. A full
+			// queue means the router is saturated; shed the request and
+			// let the client's retransmission find capacity.
+			select {
+			case p.workCh <- d:
+			default:
+				return p.consumeDrop(d)
+			}
+			return netsim.Consumed
+		}
 		return p.handleRequest(d)
 	}
 	if mtype == oncrpc.MsgReply {
@@ -814,6 +865,42 @@ func (p *Proxy) nfsCall(sp *obs.Span, hop obs.HopKind, addr netsim.Addr, proc nf
 		return err
 	}
 	return res.Decode(xdr.NewDecoder(body))
+}
+
+// serviceLoop is the paced request worker: one request per ServiceTime,
+// metered against an absolute deadline (next += S) so the loop tracks
+// its nominal rate instead of accumulating scheduler drift — under
+// saturation it forwards exactly 1/ServiceTime ops/s.
+func (p *Proxy) serviceLoop() {
+	defer p.wg.Done()
+	var next time.Time
+	for {
+		select {
+		case <-p.stopCh:
+			for {
+				select {
+				case d := <-p.workCh:
+					netsim.FreeBuf(d)
+				default:
+					return
+				}
+			}
+		case d := <-p.workCh:
+			// Bounded catch-up credit: sleep overshoot (timer slack is
+			// coarser than ServiceTime) leaves next behind the clock, and
+			// the deficit is repaid by serving queued requests back to
+			// back. The credit is capped so an idle proxy cannot bank an
+			// unlimited burst.
+			now := time.Now()
+			if floor := now.Add(-32 * p.cfg.ServiceTime); next.Before(floor) {
+				next = floor
+			} else if wait := next.Sub(now); wait > 0 {
+				time.Sleep(wait)
+			}
+			next = next.Add(p.cfg.ServiceTime)
+			p.handleRequest(d)
+		}
+	}
 }
 
 func (p *Proxy) writebackLoop() {
