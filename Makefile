@@ -38,6 +38,7 @@ BENCH_COUNT ?= 6
 BENCH_TIME ?= 20000x
 BENCH_BULK_TIME ?= 3x
 BENCH_FLEET_TIME ?= 5000x
+BENCH_REPLICA_TIME ?= 2000x
 BENCH_TOLERANCE ?= 2.5
 bench-gate:
 	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem \
@@ -51,6 +52,10 @@ bench-gate:
 	    -benchtime $(BENCH_BULK_TIME) -count $(BENCH_COUNT) -cpu 4 . > bench_bulk.out \
 	    || { cat bench_bulk.out; exit 1; }
 	$(GO) run ./cmd/benchgate -baseline BENCH_bulkio.json -input bench_bulk.out -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run xxx -bench 'BenchmarkReplicaRead' -benchmem \
+	    -benchtime $(BENCH_REPLICA_TIME) -count $(BENCH_COUNT) -cpu 4 . > bench_replica.out \
+	    || { cat bench_replica.out; exit 1; }
+	$(GO) run ./cmd/benchgate -baseline BENCH_replica.json -input bench_replica.out -tolerance $(BENCH_TOLERANCE)
 
 # Static analysis beyond vet. The tools are not vendored: CI installs
 # them; offline checkouts skip with a note rather than failing.
@@ -63,7 +68,9 @@ lint: vet
 	else echo "lint: govulncheck not installed; skipping"; fi
 
 # Coverage with a floor: the suite must keep covering at least
-# COVER_FLOOR% of statements.
+# COVER_FLOOR% of statements overall, and internal/replica (the
+# correctness-critical replica map + resync protocol) must also meet the
+# floor on its own — cross-package chaos tests don't count toward it.
 COVER_FLOOR ?= 65
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
@@ -72,6 +79,10 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
 	    if (t+0 < f+0) { printf "cover: %.1f%% is below the %s%% floor\n", t, f; exit 1 } \
 	    else { printf "cover: %.1f%% >= %s%% floor\n", t, f } }'
+	@pkg=$$($(GO) test -cover ./internal/replica/ | awk '{ for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { sub(/%/,"",$$i); print $$i } }'); \
+	awk -v t="$$pkg" -v f="$(COVER_FLOOR)" 'BEGIN { \
+	    if (t+0 < f+0) { printf "cover: internal/replica %.1f%% is below the %s%% floor\n", t, f; exit 1 } \
+	    else { printf "cover: internal/replica %.1f%% >= %s%% floor\n", t, f } }'
 
 # Regenerate the checked-in fuzz seed corpora (testdata/fuzz/...).
 corpus:

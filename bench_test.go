@@ -760,3 +760,113 @@ func BenchmarkBulkWrite(b *testing.B) {
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) { benchBulkWrite(b, n, false) })
 	}
 }
+
+// ------------------------------------------------ replica read scaling
+//
+// BenchmarkReplicaRead measures aggregate read throughput as one replica
+// group grows from k=1 to k=3 members. Raw storage reads are too cheap
+// to expose scaling on one core, so every storage node is paced
+// (Config.StorageServiceTime) at a fixed per-node rate — the
+// saturated-server regime Harmonia-style read spreading exists for. The
+// file is written and committed before the timer starts, so the object
+// is clean and the µproxy's dirty set lets every read spread across the
+// group by power-of-two-choices; throughput should then track k times
+// the single-node rate. Gated by BENCH_replica.json (ratio rules
+// measured within one run, so no machine tolerance is needed).
+
+const (
+	// replicaServiceTime paces each storage node: one node saturates at
+	// 1/replicaServiceTime ≈ 6.7k reads/s, so k clean replicas deliver
+	// ~k× that in aggregate.
+	replicaServiceTime = 150 * time.Microsecond
+	// replicaReadLanes closed-loop readers keep every member busy
+	// without flooding the paced queues.
+	replicaReadLanes = 8
+	// One stripe unit per op: each read is exactly one storage READ RPC.
+	replicaReadIO    = 32 << 10
+	replicaFileBytes = 1 << 20
+)
+
+// newReplicaArray builds a k-member single-group replicated array with
+// paced nodes. All-striped (no small-file servers), so every read takes
+// the spread-capable bulk path.
+func newReplicaArray(b *testing.B, k int) *ensemble.Ensemble {
+	b.Helper()
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: k, Replication: k,
+		DirServers: 1, SmallFileServers: 0,
+		Coordinator: true, NameKind: route.MkdirSwitching,
+		StorageServiceTime: replicaServiceTime,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	return e
+}
+
+func benchReplicaRead(b *testing.B, k int) {
+	e := newReplicaArray(b, k)
+	w := bulkClient(b, e, false)
+	data := make([]byte, replicaFileBytes)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	fh, _, err := w.Create(w.Root(), "rep", 0o644, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.WriteFile(fh, data); err != nil {
+		b.Fatal(err)
+	}
+	// Serial clients (window=1): one paced storage READ per op, no
+	// readahead inflating the offered load.
+	lanes := make([]*client.Client, replicaReadLanes)
+	for i := range lanes {
+		lanes[i] = bulkClient(b, e, true)
+	}
+	const nchunks = replicaFileBytes / replicaReadIO
+	var wg sync.WaitGroup
+	b.SetBytes(replicaReadIO)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i, c := range lanes {
+		// Split b.N across the closed-loop lanes (GOMAXPROCS may be 1;
+		// RunParallel would collapse to one lane).
+		ops := b.N / len(lanes)
+		if i < b.N%len(lanes) {
+			ops++
+		}
+		if ops == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c *client.Client, lane, ops int) {
+			defer wg.Done()
+			buf := make([]byte, replicaReadIO)
+			for j := 0; j < ops; j++ {
+				off := uint64((lane*nchunks/replicaReadLanes + j) % nchunks * replicaReadIO)
+				n, _, err := c.Read(fh, off, buf)
+				if err != nil || n != replicaReadIO {
+					b.Errorf("read at %d: n=%d, %v", off, n, err)
+					return
+				}
+			}
+		}(c, i, ops)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "reads/s")
+	}
+}
+
+// BenchmarkReplicaRead drives the closed-loop read lanes against
+// replica groups of 1/2/3 paced members. ns/op should track
+// replicaServiceTime/k; BENCH_replica.json gates the k=2/k=3 speedups
+// over k=1 at ≥1.6×/2.2×.
+func BenchmarkReplicaRead(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) { benchReplicaRead(b, k) })
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -45,6 +46,7 @@ import (
 func main() {
 	connect := flag.String("connect", "", "UDP address of a running sliced (empty: in-process ensemble)")
 	proxies := flag.Int("proxies", 1, "µproxy fleet size for the in-process ensemble")
+	replication := flag.Int("replication", 1, "k-way storage replication for the in-process ensemble")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -76,6 +78,7 @@ func main() {
 	} else {
 		e, err := ensemble.New(ensemble.Config{
 			StorageNodes: 4, DirServers: 2, SmallFileServers: 2, Proxies: *proxies,
+			Replication: *replication,
 			Coordinator: true, NameKind: route.MkdirSwitching, MkdirP: 0.25,
 		})
 		if err != nil {
@@ -92,6 +95,16 @@ func main() {
 			// traffic; drive a short untar so the demo shows real numbers.
 			if _, err := workload.Untar(c, c.Root(), workload.UntarConfig{Entries: 200}); err != nil {
 				log.Fatalf("slicectl: warmup untar: %v", err)
+			}
+			if *replication > 1 {
+				// Bulk write + reads so the replica section (dirty-set
+				// occupancy, read spread) has samples.
+				if _, err := workload.DD(c, c.Root(), workload.DDConfig{Bytes: 1 << 20, Write: true}); err != nil {
+					log.Fatalf("slicectl: warmup dd write: %v", err)
+				}
+				if _, err := workload.DD(c, c.Root(), workload.DDConfig{Bytes: 1 << 20, Verify: true}); err != nil {
+					log.Fatalf("slicectl: warmup dd read: %v", err)
+				}
 			}
 			port, err := e.Net.Bind(netsim.Addr{Host: ensemble.HostClient0 + 99, Port: 901})
 			if err != nil {
@@ -147,6 +160,7 @@ func runStats(rc *oncrpc.Client, args []string) error {
 		if fleet, n := snap.MergeRole("uproxy", "uproxy(fleet)"); n > 1 {
 			fleet.WriteText(os.Stdout)
 		}
+		printReplicaSection(snap)
 		return nil
 
 	case "trace":
@@ -172,6 +186,74 @@ func runStats(rc *oncrpc.Client, args []string) error {
 		return nil
 	}
 	return fmt.Errorf("unknown command %q", args[0])
+}
+
+// printReplicaSection renders replica health from the cluster snapshot:
+// the µproxy fleet's dirty-set occupancy and pinned reads, the per-group
+// read-spread balance (the replica.read[g.m] hists count spread reads per
+// member slot), and per-node resync sizes from the storage tier. Silent
+// on an unreplicated array — no replica hists ever record.
+func printReplicaSection(snap obs.ClusterSnapshot) {
+	up, _ := snap.MergeRole("uproxy", "uproxy(fleet)")
+
+	// Per-group spread counts keyed by "replica.read[group.member]".
+	groups := make(map[int]map[int]uint64)
+	for name, h := range up.Hists {
+		var g, m int
+		if _, err := fmt.Sscanf(name, "replica.read[%d.%d]", &g, &m); err == nil {
+			if groups[g] == nil {
+				groups[g] = make(map[int]uint64)
+			}
+			groups[g][m] += h.Count()
+		}
+	}
+	dirty := up.Hists["replica.dirty_occupancy"]
+	pinned := up.Hists["replica.pinned_reads"]
+	if len(groups) == 0 && dirty.Count() == 0 && pinned.Count() == 0 {
+		return
+	}
+
+	fmt.Println("replica:")
+	fmt.Printf("  dirty-set occupancy: samples=%d p50=%d p99=%d max=%d\n",
+		dirty.Count(), dirty.Percentile(0.50), dirty.Percentile(0.99), dirty.Max())
+	fmt.Printf("  pinned reads: %d\n", pinned.Count())
+	gids := make([]int, 0, len(groups))
+	for g := range groups {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
+	for _, g := range gids {
+		members := groups[g]
+		mids := make([]int, 0, len(members))
+		for m := range members {
+			mids = append(mids, m)
+		}
+		sort.Ints(mids)
+		var parts []string
+		min, max := uint64(0), uint64(0)
+		for i, m := range mids {
+			n := members[m]
+			parts = append(parts, fmt.Sprintf("m%d=%d", m, n))
+			if i == 0 || n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		balance := 1.0
+		if max > 0 {
+			balance = float64(min) / float64(max)
+		}
+		fmt.Printf("  group %d read spread: %s balance=%.2f\n", g, strings.Join(parts, " "), balance)
+	}
+	// Resyncs report from each storage node's registry: one sample per
+	// rebuild, valued at the bytes copied from the surviving sibling.
+	for _, comp := range snap.Components {
+		if h, ok := comp.Hists["replica.resync_bytes"]; ok && h.Count() > 0 {
+			fmt.Printf("  %s resyncs: %d (last ~%d bytes)\n", comp.Component, h.Count(), h.Max())
+		}
+	}
 }
 
 // printSpan renders one archived span: the op, its end-to-end time, the

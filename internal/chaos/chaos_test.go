@@ -5,9 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"slice/internal/checksum"
 	"slice/internal/client"
-	"slice/internal/dirsrv"
 	"slice/internal/ensemble"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
@@ -41,13 +39,6 @@ func newEnsemble(t *testing.T, mutate func(*ensemble.Config)) *ensemble.Ensemble
 	}
 	t.Cleanup(e.Close)
 	return e
-}
-
-func mustFsckClean(t *testing.T, e *ensemble.Ensemble) {
-	t.Helper()
-	if problems := dirsrv.Check(e.Dirs, e.Root); len(problems) != 0 {
-		t.Fatalf("fsck found %d problems after recovery: %v", len(problems), problems)
-	}
 }
 
 // TestCoordinatorCrashMidRemoveLeavesNoOrphans: a storage site is
@@ -130,7 +121,7 @@ func TestCoordinatorCrashMidRemoveLeavesNoOrphans(t *testing.T) {
 	if _, _, err := c.Create(c.Root(), "after", 0o644, true); err != nil {
 		t.Fatalf("create after recovery: %v", err)
 	}
-	mustFsckClean(t, e)
+	FsckClean(t, e)
 }
 
 // TestStoragePartitionMidCommitNoLostAckedWrites: a storage node is
@@ -203,7 +194,7 @@ func TestStoragePartitionMidCommitNoLostAckedWrites(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("acknowledged committed data lost in storage crash")
 	}
-	mustFsckClean(t, e)
+	FsckClean(t, e)
 }
 
 // TestDirServerRestartFromWALMidUntar: a directory server crashes in the
@@ -272,7 +263,7 @@ func TestDirServerRestartFromWALMidUntar(t *testing.T) {
 	if c.Retransmissions() == 0 {
 		t.Fatal("workload saw no retransmissions (crash window not exercised)")
 	}
-	mustFsckClean(t, e)
+	FsckClean(t, e)
 }
 
 // TestCoordinatorRecoveryFinishesExactlyOnce is the end-to-end version
@@ -350,7 +341,7 @@ func TestCoordinatorRecoveryFinishesExactlyOnce(t *testing.T) {
 	if _, ok := node0.Size(storage.ObjectOf(fh)); ok {
 		t.Fatal("recovered remove left blocks on the partitioned node (orphan)")
 	}
-	mustFsckClean(t, e)
+	FsckClean(t, e)
 }
 
 // TestWindowedBulkEquivalenceUnderChaos: a windowed client streams a
@@ -411,30 +402,6 @@ func TestWindowedBulkEquivalenceUnderChaos(t *testing.T) {
 		t.Fatalf("commit barrier under faults: %v", err)
 	}
 
-	want := checksum.Sum(data)
-	got, err := w.ReadAll(fh)
-	if err != nil {
-		t.Fatalf("windowed read back: %v", err)
-	}
-	if len(got) != len(data) || checksum.Sum(got) != want {
-		t.Fatalf("windowed read: %d bytes sum %#x, want %d bytes sum %#x",
-			len(got), checksum.Sum(got), len(data), want)
-	}
-	serial, err := e.NewSerialClient()
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer serial.Close()
-	got2, err := serial.ReadAll(fh)
-	if err != nil {
-		t.Fatalf("serial read back: %v", err)
-	}
-	if len(got2) != len(data) || checksum.Sum(got2) != want {
-		t.Fatalf("serial read: %d bytes sum %#x, want %d bytes sum %#x",
-			len(got2), checksum.Sum(got2), len(data), want)
-	}
-	if !bytes.Equal(got, got2) {
-		t.Fatal("windowed and serial readers disagree byte-for-byte")
-	}
-	mustFsckClean(t, e)
+	VerifyBytes(t, e, w, fh, data)
+	FsckClean(t, e)
 }

@@ -10,14 +10,20 @@
 package chaos
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"testing"
 	"time"
 
+	"slice/internal/checksum"
 	"slice/internal/client"
+	"slice/internal/dirsrv"
+	"slice/internal/ensemble"
 	"slice/internal/fhandle"
 	"slice/internal/nfsproto"
 	"slice/internal/oncrpc"
+	"slice/internal/storage"
 )
 
 // Retry runs op until it succeeds, fails with a permanent (non-timeout)
@@ -135,6 +141,96 @@ func ensure(c *client.Client, budget time.Duration, parent fhandle.Handle, name 
 		return err
 	})
 	return fh, err
+}
+
+// FsckClean asserts the namespace passes the cross-server consistency
+// check — the closing assertion of every chaos scenario.
+func FsckClean(t testing.TB, e *ensemble.Ensemble) {
+	t.Helper()
+	if problems := dirsrv.Check(e.Dirs, e.Root); len(problems) != 0 {
+		t.Fatalf("fsck found %d problems after recovery: %v", len(problems), problems)
+	}
+}
+
+// VerifyBytes reads fh back through both the windowed (readahead
+// pipelined) path and a serial client and asserts each returns exactly
+// want — the byte-identity check the bulk chaos scenarios share.
+func VerifyBytes(t testing.TB, e *ensemble.Ensemble, c *client.Client, fh fhandle.Handle, want []byte) {
+	t.Helper()
+	sum := checksum.Sum(want)
+	got, err := c.ReadAll(fh)
+	if err != nil {
+		t.Fatalf("windowed read back: %v", err)
+	}
+	if len(got) != len(want) || checksum.Sum(got) != sum {
+		t.Fatalf("windowed read: %d bytes sum %#x, want %d bytes sum %#x",
+			len(got), checksum.Sum(got), len(want), sum)
+	}
+	serial, err := e.NewSerialClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	got2, err := serial.ReadAll(fh)
+	if err != nil {
+		t.Fatalf("serial read back: %v", err)
+	}
+	if !bytes.Equal(got, got2) {
+		t.Fatal("windowed and serial readers disagree byte-for-byte")
+	}
+}
+
+// ReplicaGroupsIdentical asserts every live member of every replica
+// group holds byte-identical copies of every object. Small-file backing
+// objects (ID top byte 0x5F) are excluded: they live on one node by
+// design and never take the replicated path.
+func ReplicaGroupsIdentical(t testing.TB, e *ensemble.Ensemble) {
+	t.Helper()
+	if e.Replicas == nil {
+		t.Fatal("ensemble is not replicated")
+	}
+	for _, g := range e.Replicas.Groups() {
+		var members []*storage.Node
+		for _, a := range g.Members {
+			i := int(a.Host - ensemble.HostStorage0)
+			if i < 0 || i >= len(e.Storage) || e.Storage[i] == nil {
+				t.Fatalf("replica group %d member %v is down", g.ID, a)
+			}
+			members = append(members, e.Storage[i])
+		}
+		ref := members[0].Store()
+		var after storage.ObjectID
+		for {
+			page := ref.ListAfter(after, 128)
+			if len(page) == 0 {
+				break
+			}
+			for _, ent := range page {
+				after = ent.ID
+				if uint64(ent.ID)>>56 == 0x5F {
+					continue
+				}
+				want := make([]byte, ent.Size)
+				if ent.Size > 0 {
+					ref.ReadAt(ent.ID, 0, want)
+				}
+				for mi, m := range members[1:] {
+					size, ok := m.Store().Size(ent.ID)
+					if !ok || size != ent.Size {
+						t.Fatalf("group %d member %d: object %d size %d, want %d (ok=%v)",
+							g.ID, mi+1, ent.ID, size, ent.Size, ok)
+					}
+					got := make([]byte, ent.Size)
+					if ent.Size > 0 {
+						m.Store().ReadAt(ent.ID, 0, got)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("group %d member %d: object %d differs from primary", g.ID, mi+1, ent.ID)
+					}
+				}
+			}
+		}
+	}
 }
 
 // VerifyAcked resolves every acknowledged entry through the live stack

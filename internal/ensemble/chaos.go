@@ -6,7 +6,9 @@ import (
 	"slice/internal/coord"
 	"slice/internal/dirsrv"
 	"slice/internal/netsim"
+	"slice/internal/oncrpc"
 	"slice/internal/proxy"
+	"slice/internal/replica"
 	"slice/internal/route"
 	"slice/internal/smallfile"
 	"slice/internal/storage"
@@ -284,5 +286,147 @@ func (c *Chaos) RestartStorage(i int) (*storage.Node, error) {
 	}
 	node.SetObs(c.e.obsStorage[i])
 	c.e.Storage[i] = node
+	return node, nil
+}
+
+// ------------------------------------------------------ replica groups
+
+// resyncWindow is the peer-read pipeline depth of a replica resync.
+const resyncWindow = 8
+
+// replicaGroup returns the group index storage node i belongs to under
+// the consecutive partition (the last group absorbs any remainder).
+func (c *Chaos) replicaGroup(i int) int {
+	g := i / c.e.cfg.Replication
+	if n := c.e.Replicas.NumGroups(); g >= n {
+		g = n - 1
+	}
+	return g
+}
+
+// KillReplica kills storage node i together with its disk — the
+// total-loss failure replication exists to absorb. The host is torn
+// down (in-flight datagrams lost), the object store is discarded, and
+// the member is marked down in the replica map: failure detection
+// folded into one topology swap, exactly like CrashProxy's fleet swap.
+// Writes stop awaiting the dead member, reads stop spreading to it,
+// and the version bump retargets stalled in-flight requests onto the
+// survivors at their next client retransmission. If i was its group's
+// primary the next member is promoted and the storage table rebound.
+func (c *Chaos) KillReplica(i int) {
+	if i < 0 || i >= len(c.e.Storage) || c.e.Storage[i] == nil {
+		return
+	}
+	c.e.Net.CrashHost(HostStorage0 + uint32(i))
+	// A kill subsumes a transient partition of the same host: the crash
+	// already drops all its traffic, and the replacement machine must not
+	// inherit the partition marker.
+	c.e.Net.RejoinHost(HostStorage0 + uint32(i))
+	c.e.Storage[i].Close()
+	c.e.Storage[i] = nil
+	if c.e.Replicas == nil {
+		return
+	}
+	addr := netsim.Addr{Host: HostStorage0 + uint32(i), Port: ServicePort}
+	g := c.replicaGroup(i)
+	before := c.e.Replicas.Groups()[g].Members[0]
+	c.e.Replicas.MarkDown(addr)
+	after := c.e.Replicas.Groups()[g].Members[0]
+	if after != before {
+		rebind(c.e.StorageTable, before, after)
+	}
+}
+
+// KillReplicaUnderWrite kills the last (non-primary) member of replica
+// group g with no quiescing — the canonical mid-write failure the
+// replica chaos tests drive while a windowed bulk write or an untar is
+// in flight. It returns the index of the node it killed, for the
+// matching RestartReplica.
+func (c *Chaos) KillReplicaUnderWrite(g int) (int, error) {
+	if c.e.Replicas == nil {
+		return 0, fmt.Errorf("ensemble: array is not replicated")
+	}
+	groups := c.e.Replicas.Groups()
+	if g < 0 || g >= len(groups) {
+		return 0, fmt.Errorf("ensemble: no replica group %d", g)
+	}
+	m := groups[g].Members[len(groups[g].Members)-1]
+	i := int(m.Host - HostStorage0)
+	c.KillReplica(i)
+	return i, nil
+}
+
+// RestartReplica revives storage node i with an empty store, resyncing
+// it from a surviving member of its replica group over the windowed
+// peer program. The service port is bound only after the resync
+// completes, so the reborn member never serves a stale read, and the
+// member is marked back up in the replica map only once it is live —
+// writes that finished against the shrunken group during the resync
+// are already on the peer the store was copied from, so the reborn
+// member re-enters the group byte-identical.
+func (c *Chaos) RestartReplica(i int) (*storage.Node, error) {
+	if c.e.Replicas == nil {
+		return nil, fmt.Errorf("ensemble: array is not replicated")
+	}
+	if i < 0 || i >= len(c.e.Storage) {
+		return nil, fmt.Errorf("ensemble: no storage node %d", i)
+	}
+	if c.e.Storage[i] != nil {
+		return nil, fmt.Errorf("ensemble: storage node %d still running", i)
+	}
+	host := HostStorage0 + uint32(i)
+	addr := netsim.Addr{Host: host, Port: ServicePort}
+	g := c.replicaGroup(i)
+	var peer netsim.Addr
+	found := false
+	for _, s := range c.e.Replicas.Groups()[g].Members {
+		idx := int(s.Host - HostStorage0)
+		if s != addr && idx >= 0 && idx < len(c.e.Storage) && c.e.Storage[idx] != nil {
+			peer, found = s, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("ensemble: no live sibling to resync storage node %d from", i)
+	}
+	c.e.Net.RestartHost(host)
+	// Resync over a transient client port; the service port stays unbound
+	// until the store is complete.
+	cp, err := c.e.Net.Bind(netsim.Addr{Host: host, Port: 1})
+	if err != nil {
+		return nil, err
+	}
+	cli := oncrpc.NewClient(cp, peer, c.e.cfg.ClientRPC)
+	store := storage.NewObjectStore()
+	st, err := storage.ResyncFrom(cli, replica.PeerToken(c.e.cfg.CapabilityKey), resyncWindow, store)
+	cli.Close()
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: resync storage node %d from %v: %w", i, peer, err)
+	}
+	if reg := c.e.obsStorage[i]; reg != nil {
+		reg.Hist("replica.resync_bytes").Record(uint64(st.Bytes))
+	}
+	port, err := c.e.Net.Bind(addr)
+	if err != nil {
+		return nil, err
+	}
+	node := storage.NewNode(port, store)
+	if len(c.e.cfg.CapabilityKey) > 0 {
+		node.RequireCapability(c.e.cfg.CapabilityKey)
+	}
+	if c.e.cfg.StorageServiceTime > 0 {
+		node.SetServiceTime(c.e.cfg.StorageServiceTime)
+	}
+	node.SetReplica(uint32(i/c.e.cfg.Replication), uint32(i%c.e.cfg.Replication))
+	node.SetObs(c.e.obsStorage[i])
+	c.e.Storage[i] = node
+	// Rejoin the group last: if the dead member had been the primary the
+	// promotion is undone and the storage table rebound to the original.
+	before := c.e.Replicas.Groups()[g].Members[0]
+	c.e.Replicas.MarkUp(addr)
+	after := c.e.Replicas.Groups()[g].Members[0]
+	if after != before {
+		rebind(c.e.StorageTable, before, after)
+	}
 	return node, nil
 }

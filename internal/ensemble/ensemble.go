@@ -18,6 +18,7 @@ import (
 	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/proxy"
+	"slice/internal/replica"
 	"slice/internal/route"
 	"slice/internal/smallfile"
 	"slice/internal/storage"
@@ -72,6 +73,18 @@ type Config struct {
 	StripeUnit uint64
 	// MirrorDegree >1 mirrors all newly created files.
 	MirrorDegree uint8
+	// Replication >1 partitions the storage nodes into consecutive
+	// replica groups of that many members (Harmonia-style, PAPERS.md):
+	// the routing tables address only each group's primary, the µproxy
+	// fans every WRITE to the whole group and spreads clean reads across
+	// members via its dirty set. StorageNodes should be a multiple of
+	// Replication; a remainder folds into the last group.
+	Replication int
+	// StorageServiceTime, when positive, paces every storage node at one
+	// NFS request per StorageServiceTime — the capacity model that makes
+	// replica read scaling measurable on a single machine (the replica
+	// peer program is never paced, so resync is not throttled).
+	StorageServiceTime time.Duration
 	// UseBlockMaps routes bulk I/O through coordinator block maps.
 	UseBlockMaps bool
 	// LogicalSites sets routing-table granularity (default: server count).
@@ -126,6 +139,9 @@ type Ensemble struct {
 	SmallTable   *route.Table
 	IOPolicy     *route.IOPolicy
 	NamePolicy   *route.NamePolicy
+	// Replicas is the k-way group map under StorageTable (nil when
+	// Config.Replication <= 1). The table routes to primaries only.
+	Replicas *replica.Map
 	// Fleet is the versioned µproxy membership table; Front is the
 	// consistent-hash ring over it that clients resolve flows through.
 	Fleet *route.Fleet
@@ -187,6 +203,12 @@ func New(cfg Config) (*Ensemble, error) {
 		if len(cfg.CapabilityKey) > 0 {
 			node.RequireCapability(cfg.CapabilityKey)
 		}
+		if cfg.StorageServiceTime > 0 {
+			node.SetServiceTime(cfg.StorageServiceTime)
+		}
+		if cfg.Replication > 1 {
+			node.SetReplica(uint32(i/cfg.Replication), uint32(i%cfg.Replication))
+		}
 		reg := obs.NewRegistry(fmt.Sprintf("storage[%d]", i))
 		node.SetObs(reg)
 		e.Obs.AddRegistry(reg)
@@ -195,7 +217,18 @@ func New(cfg Config) (*Ensemble, error) {
 		storageAddrs = append(storageAddrs, addr)
 	}
 	logical := cfg.LogicalSites
-	e.StorageTable = route.NewTable(logical, storageAddrs)
+	tableAddrs := storageAddrs
+	if cfg.Replication > 1 {
+		// The storage table is built over group primaries only: placement
+		// resolves to a primary, and the µproxy's replica map expands it
+		// to the whole group underneath.
+		e.Replicas = replica.NewMap(cfg.Replication, storageAddrs)
+		tableAddrs = nil
+		for _, g := range e.Replicas.Groups() {
+			tableAddrs = append(tableAddrs, g.Members[0])
+		}
+	}
+	e.StorageTable = route.NewTable(logical, tableAddrs)
 
 	// Small-file servers.
 	var smallAddrs []netsim.Addr
@@ -302,6 +335,7 @@ func New(cfg Config) (*Ensemble, error) {
 
 	// Routing policies and the µproxy.
 	e.IOPolicy = route.NewIOPolicy(e.SmallTable, e.StorageTable)
+	e.IOPolicy.Replicas = e.Replicas
 	if cfg.Threshold > 0 {
 		e.IOPolicy.Threshold = cfg.Threshold
 	}

@@ -1,0 +1,352 @@
+package ensemble
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"slice/internal/oncrpc"
+	"slice/internal/route"
+	"slice/internal/storage"
+)
+
+// newReplicated builds a 2-way replicated ensemble: 4 storage nodes in
+// 2 groups, no small-file tier (every byte takes the replicated path).
+func newReplicated(t *testing.T, mutate func(*Config)) *Ensemble {
+	t.Helper()
+	cfg := Config{
+		StorageNodes: 4,
+		Replication:  2,
+		DirServers:   1,
+		Coordinator:  true,
+		NameKind:     route.MkdirSwitching,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("ensemble: %v", err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// assertGroupsIdentical checks that every member of each replica group
+// holds byte-identical copies of every object, excluding small-file
+// backing objects (id top byte 0x5F), which live on one node by design.
+func assertGroupsIdentical(t *testing.T, e *Ensemble) {
+	t.Helper()
+	k := e.cfg.Replication
+	for base := 0; base+k <= len(e.Storage); base += k {
+		members := e.Storage[base : base+k]
+		for gi := base; gi < base+k; gi++ {
+			if e.Storage[gi] == nil {
+				t.Fatalf("storage node %d is down", gi)
+			}
+		}
+		ref := members[0].Store()
+		var after storage.ObjectID
+		for {
+			page := ref.ListAfter(after, 128)
+			if len(page) == 0 {
+				break
+			}
+			for _, ent := range page {
+				after = ent.ID
+				if uint64(ent.ID)>>56 == 0x5F {
+					continue
+				}
+				want := make([]byte, ent.Size)
+				if ent.Size > 0 {
+					ref.ReadAt(ent.ID, 0, want)
+				}
+				for mi, m := range members[1:] {
+					size, ok := m.Store().Size(ent.ID)
+					if !ok || size != ent.Size {
+						t.Fatalf("group %d member %d: object %d size %d, want %d (ok=%v)",
+							base/k, mi+1, ent.ID, size, ent.Size, ok)
+					}
+					got := make([]byte, ent.Size)
+					if ent.Size > 0 {
+						m.Store().ReadAt(ent.ID, 0, got)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("group %d member %d: object %d differs from primary", base/k, mi+1, ent.ID)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReplicatedWriteFansOutReadsSpread(t *testing.T) {
+	e := newReplicated(t, nil)
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fh, _, err := c.Create(c.Root(), "fanout.dat", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256*1024)
+	for i := range data {
+		data[i] = byte(i*7 + i>>9)
+	}
+	if _, err := c.Write(fh, 0, data, false); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := c.Commit(fh); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	// All fan-outs acknowledged: nothing stays dirty.
+	if n := e.Proxy.DirtyLen(); n != 0 {
+		t.Fatalf("dirty set holds %d entries after acked writes", n)
+	}
+	// Every member of every group holds identical bytes.
+	assertGroupsIdentical(t, e)
+
+	// Reads spread: a clean object is served by non-primary members too.
+	got := make([]byte, len(data))
+	for i := 0; i < 16; i++ {
+		n, _, err := c.Read(fh, 0, got)
+		if err != nil || n != len(data) {
+			t.Fatalf("read %d: n=%d err=%v", i, n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("read %d: content mismatch", i)
+		}
+	}
+	nonPrimaryReads := uint64(0)
+	for i, sn := range e.Storage {
+		if i%e.cfg.Replication != 0 {
+			nonPrimaryReads += sn.Store().Stats().Reads
+		}
+	}
+	if nonPrimaryReads == 0 {
+		t.Fatal("no read was spread to a non-primary replica")
+	}
+}
+
+// TestDirtyObjectPinsReadsUntilCommit drives the dirty-set edge cases:
+// a write whose fan-out cannot complete (one member partitioned) leaves
+// its object dirty through every client retransmission — fresh-xid
+// reissues must not double-insert, or the entry could never drain — and
+// reads of the dirty object pin to the primary and stay correct. After
+// the client gives up, the mark survives as a safe over-approximation
+// until a COMMIT barrier force-clears it.
+func TestDirtyObjectPinsReadsUntilCommit(t *testing.T) {
+	e := newReplicated(t, func(cfg *Config) {
+		cfg.StorageNodes = 2 // one group: {primary 0, member 1}
+		cfg.ClientRPC = oncrpc.ClientConfig{Timeout: 30 * time.Millisecond, Retries: 4}
+	})
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fh, _, err := c.Create(c.Root(), "pinned.dat", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]byte, 128*1024)
+	for i := range base {
+		base[i] = byte(i * 13)
+	}
+	if _, err := c.Write(fh, 0, base, false); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := c.Commit(fh); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if n := e.Proxy.DirtyLen(); n != 0 {
+		t.Fatalf("dirty set holds %d entries before the partition", n)
+	}
+
+	// Partition the non-primary member and write: the fan-out can never
+	// complete, so the object goes (and stays) dirty while the client
+	// retransmits and reissues, and the write-behind drain finally
+	// surfaces the failure client-side.
+	e.Chaos().PartitionStorage(1)
+	tail := bytes.Repeat([]byte{0xEE}, 32*1024)
+	if _, err := c.Write(fh, uint64(len(base)), tail, false); err == nil {
+		err = c.Flush(fh)
+		if err == nil {
+			t.Fatal("write with a partitioned replica succeeded")
+		}
+	}
+	if !e.Proxy.ObjectDirty(fh) {
+		t.Fatal("object not dirty after an unacknowledged fan-out")
+	}
+	if got := e.Proxy.DirtyLen(); got != 1 {
+		t.Fatalf("dirty set holds %d entries, want 1 (retransmits must not double-insert)", got)
+	}
+
+	// Dirty reads pin to the primary and serve the committed bytes.
+	m1Reads := e.Storage[1].Store().Stats().Reads
+	got := make([]byte, len(base))
+	for i := 0; i < 8; i++ {
+		if n, _, err := c.Read(fh, 0, got); err != nil || n != len(base) {
+			t.Fatalf("pinned read %d: n=%d err=%v", i, n, err)
+		}
+		if !bytes.Equal(got, base) {
+			t.Fatalf("pinned read %d returned wrong bytes", i)
+		}
+	}
+	if after := e.Storage[1].Store().Stats().Reads; after != m1Reads {
+		t.Fatalf("dirty object was read from the partitioned member (%d reads)", after-m1Reads)
+	}
+
+	// Heal and commit: the barrier reaches every member and force-clears
+	// the over-approximated mark, so reads spread again.
+	e.Chaos().HealStorage(1)
+	if _, err := c.Commit(fh); err != nil {
+		t.Fatalf("commit after heal: %v", err)
+	}
+	if e.Proxy.ObjectDirty(fh) {
+		t.Fatal("COMMIT barrier did not clear the dirty mark")
+	}
+	m1Reads = e.Storage[1].Store().Stats().Reads
+	for i := 0; i < 16; i++ {
+		if _, _, err := c.Read(fh, uint64(8192*(i%4)), got[:8192]); err != nil {
+			t.Fatalf("spread read %d: %v", i, err)
+		}
+	}
+	if e.Storage[1].Store().Stats().Reads == m1Reads {
+		t.Fatal("reads did not spread to the healed member after COMMIT")
+	}
+}
+
+// TestDirtyMarkSurvivesSoftStateLossAsOverApproximation drops the
+// µproxy's soft state mid-partitioned-write — the fleet-failover
+// equivalent: the new owner starts with no dirtiness knowledge, and the
+// client's retransmission re-marks the object, pinning its reads again.
+func TestDirtyMarkSurvivesSoftStateLoss(t *testing.T) {
+	e := newReplicated(t, func(cfg *Config) {
+		cfg.StorageNodes = 2
+		cfg.ClientRPC = oncrpc.ClientConfig{Timeout: 30 * time.Millisecond, Retries: 30}
+	})
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fh, _, err := c.Create(c.Root(), "failover.dat", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 96*1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+
+	e.Chaos().PartitionStorage(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write(fh, 0, data, false)
+		if err == nil {
+			err = c.Flush(fh) // drain the write-behind window
+		}
+		done <- err
+	}()
+	// Wait for the first fan-out to mark the object dirty, then lose the
+	// soft state (what a fleet failover looks like to the dirty set).
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Proxy.DirtyLen() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Proxy.DirtyLen() == 0 {
+		t.Fatal("write never marked its object dirty")
+	}
+	e.Proxy.DropSoftState()
+	// The client keeps retransmitting into the fresh state: the record
+	// is recreated and the object re-marked (the over-approximation).
+	deadline = time.Now().Add(2 * time.Second)
+	for e.Proxy.DirtyLen() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Proxy.DirtyLen() == 0 {
+		t.Fatal("retransmission did not re-mark the object after soft-state loss")
+	}
+
+	// Heal: the still-retrying write completes and the fan-out drains
+	// the re-marked entry.
+	e.Chaos().HealStorage(1)
+	if err := <-done; err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if _, err := c.Commit(fh); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for e.Proxy.DirtyLen() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := e.Proxy.DirtyLen(); n != 0 {
+		t.Fatalf("dirty set holds %d entries after the healed write drained", n)
+	}
+	assertGroupsIdentical(t, e)
+}
+
+func TestKillReplicaResyncRebuildsMember(t *testing.T) {
+	e := newReplicated(t, func(cfg *Config) {
+		cfg.ClientRPC = oncrpc.ClientConfig{Timeout: 50 * time.Millisecond, Retries: 100}
+	})
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fh, _, err := c.Create(c.Root(), "resync.dat", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 200*1024)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if _, err := c.Write(fh, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit(fh); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill a non-primary member disk and all: group 1 = nodes {2, 3}.
+	killed, err := e.Chaos().KillReplicaUnderWrite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed != 3 {
+		t.Fatalf("killed node %d, want 3 (last member of group 1)", killed)
+	}
+	// The survivors still serve reads of the whole file.
+	got := make([]byte, len(data))
+	if n, _, err := c.Read(fh, 0, got); err != nil || n != len(data) || !bytes.Equal(got, data) {
+		t.Fatalf("read with a dead member: n=%d err=%v", n, err)
+	}
+
+	// Restart: the member resyncs from its sibling before serving.
+	if _, err := e.Chaos().RestartReplica(killed); err != nil {
+		t.Fatal(err)
+	}
+	assertGroupsIdentical(t, e)
+
+	// And it serves spread reads again.
+	before := e.Storage[killed].Store().Stats().Reads
+	for i := 0; i < 32; i++ {
+		if _, _, err := c.Read(fh, 0, got); err != nil {
+			t.Fatalf("read %d after resync: %v", i, err)
+		}
+	}
+	if e.Storage[killed].Store().Stats().Reads == before && before == 0 {
+		t.Log("note: no spread read landed on the reborn member (hash-dependent)")
+	}
+}

@@ -16,6 +16,7 @@
 package oncrpc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -267,10 +268,55 @@ func (e *ErrRejected) Error() string {
 // shards).
 const numPendingShards = 16
 
+// pendingCall is one registered in-flight call: its reply channel plus
+// the destinations its transmissions were sent to. A reply is matched
+// only when it arrives FROM one of those destinations — the standard
+// datagram-RPC peer check. Under an interposed router this is what keeps
+// clients honest about the virtual server: every reply the µproxy
+// forwards or synthesizes is sourced from the virtual address the client
+// called, while a reply leaking straight from a physical server (e.g.
+// one replica of a fanned-out write, after the router lost its soft
+// state) arrives from an address the client never wrote to and must be
+// ignored — accepting it would acknowledge an operation the other
+// replicas may never have seen. Two slots suffice: a call only changes
+// destination when a retransmission re-resolves across a
+// reconfiguration, and then the first and latest destinations are the
+// ones a live reply can still come from.
+type pendingCall struct {
+	ch   chan Reply
+	dst  [2]netsim.Addr
+	ndst int
+}
+
+// sentTo records a transmission destination (first + latest kept).
+func (pc *pendingCall) sentTo(a netsim.Addr) {
+	for i := 0; i < pc.ndst; i++ {
+		if pc.dst[i] == a {
+			return
+		}
+	}
+	if pc.ndst < len(pc.dst) {
+		pc.dst[pc.ndst] = a
+		pc.ndst++
+		return
+	}
+	pc.dst[len(pc.dst)-1] = a
+}
+
+// from reports whether a reply sourced at a answers this call.
+func (pc *pendingCall) from(a netsim.Addr) bool {
+	for i := 0; i < pc.ndst; i++ {
+		if pc.dst[i] == a {
+			return true
+		}
+	}
+	return false
+}
+
 // pendingShard is one lock-striped slice of the pending-call map.
 type pendingShard struct {
 	mu sync.Mutex
-	m  map[uint32]chan Reply
+	m  map[uint32]*pendingCall
 }
 
 // Client issues RPC calls to a fixed server address over a netsim port and
@@ -287,6 +333,9 @@ type Client struct {
 
 	// retransmissions counts retransmitted calls, for tests and stats.
 	retransmissions atomic.Uint64
+	// strayReplies counts replies rejected by the peer-address check:
+	// a matching xid from an address the call was never sent to.
+	strayReplies atomic.Uint64
 }
 
 // NewClient creates a client bound to port that calls the given server
@@ -304,7 +353,7 @@ func NewClient(port Conn, server netsim.Addr, cfg ClientConfig) *Client {
 	}
 	c.nextXid.Store(seed - 1) // Add(1) on first register yields the seed
 	for i := range c.shards {
-		c.shards[i].m = make(map[uint32]chan Reply)
+		c.shards[i].m = make(map[uint32]*pendingCall)
 	}
 	go c.recvLoop()
 	return c
@@ -335,6 +384,12 @@ func (c *Client) Retransmissions() uint64 {
 	return c.retransmissions.Load()
 }
 
+// StrayReplies returns the number of replies dropped because they
+// arrived from an address their call was never sent to.
+func (c *Client) StrayReplies() uint64 {
+	return c.strayReplies.Load()
+}
+
 // Close shuts the client down; in-flight calls fail.
 func (c *Client) Close() {
 	c.closed.Store(true)
@@ -346,18 +401,31 @@ func (c *Client) shard(xid uint32) *pendingShard {
 	return &c.shards[xid%numPendingShards]
 }
 
-// register allocates an xid and its reply channel.
-func (c *Client) register() (uint32, chan Reply, error) {
+// register allocates an xid and its pending-call record.
+func (c *Client) register() (uint32, *pendingCall, error) {
 	if c.closed.Load() {
 		return 0, nil, netsim.ErrClosed
 	}
 	xid := c.nextXid.Add(1)
-	ch := make(chan Reply, 1)
+	pc := &pendingCall{ch: make(chan Reply, 1)}
 	s := c.shard(xid)
 	s.mu.Lock()
-	s.m[xid] = ch
+	s.m[xid] = pc
 	s.mu.Unlock()
-	return xid, ch, nil
+	return xid, pc, nil
+}
+
+// noteSent records that xid's call was transmitted to dst, admitting
+// replies sourced there. Serialized with reply matching by the shard
+// lock; called before the datagram is handed to the network, so the
+// reply can never outrun its admission.
+func (c *Client) noteSent(xid uint32, dst netsim.Addr) {
+	s := c.shard(xid)
+	s.mu.Lock()
+	if pc, ok := s.m[xid]; ok {
+		pc.sentTo(dst)
+	}
+	s.mu.Unlock()
 }
 
 // unregister removes a call's pending entry (idempotent: the receive
@@ -381,10 +449,21 @@ func (c *Client) recvLoop() {
 			netsim.FreeBuf(d)
 			continue // not a reply; ignore
 		}
+		src := netsim.Addr{
+			Host: binary.BigEndian.Uint32(d[netsim.OffSrcHost:]),
+			Port: binary.BigEndian.Uint16(d[netsim.OffSrcPort:]),
+		}
 		s := c.shard(rep.Xid)
 		s.mu.Lock()
-		ch, ok := s.m[rep.Xid]
-		if ok {
+		pc, ok := s.m[rep.Xid]
+		if ok && !pc.from(src) {
+			// Matching xid, wrong peer: a stray reply from an address
+			// this call was never sent to. Leave the call registered —
+			// the real peer's answer (or a retransmission's) still
+			// matches — and drop the stray.
+			ok = false
+			c.strayReplies.Add(1)
+		} else if ok {
 			delete(s.m, rep.Xid)
 		}
 		s.mu.Unlock()
@@ -396,7 +475,7 @@ func (c *Client) recvLoop() {
 			body := make([]byte, len(rep.Body))
 			copy(body, rep.Body)
 			rep.Body = body
-			ch <- rep
+			pc.ch <- rep
 		}
 		netsim.FreeBuf(d)
 	}
@@ -426,7 +505,7 @@ func (c *Client) CallTraced(traceID uint64, prog, vers, proc uint32, args func(*
 }
 
 func (c *Client) call(key uint64, prog, vers, proc uint32, args func(*xdr.Encoder), traceID uint64, traced bool) ([]byte, error) {
-	xid, ch, err := c.register()
+	xid, pc, err := c.register()
 	if err != nil {
 		return nil, err
 	}
@@ -435,14 +514,14 @@ func (c *Client) call(key uint64, prog, vers, proc uint32, args func(*xdr.Encode
 	if traced {
 		payload = AppendCallTrace(payload, traceID)
 	}
-	return c.transact(key, proc, payload, ch)
+	return c.transact(key, xid, proc, payload, pc.ch)
 }
 
 // transact runs the retransmit/timeout loop for one registered call. It
 // is shared by the synchronous and asynchronous call paths, so every
 // concurrent call gets the same backoff, jitter, and re-resolve
 // behaviour.
-func (c *Client) transact(key uint64, proc uint32, payload []byte, ch chan Reply) ([]byte, error) {
+func (c *Client) transact(key uint64, xid, proc uint32, payload []byte, ch chan Reply) ([]byte, error) {
 	timeout := c.cfg.Timeout
 	dst := c.target(key)
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
@@ -453,6 +532,7 @@ func (c *Client) transact(key uint64, proc uint32, payload []byte, ch chan Reply
 			// replacement instead of the corpse.
 			dst = c.target(key)
 		}
+		c.noteSent(xid, dst)
 		if err := c.port.SendTo(dst, payload); err != nil {
 			return nil, err
 		}
@@ -506,14 +586,14 @@ func (c *Client) CallStart(prog, vers, proc uint32, args func(*xdr.Encoder)) *Pe
 // every transmission.
 func (c *Client) CallStartKeyed(key uint64, prog, vers, proc uint32, args func(*xdr.Encoder)) *Pending {
 	p := &Pending{done: make(chan pendingResult, 1)}
-	xid, ch, err := c.register()
+	xid, pc, err := c.register()
 	if err != nil {
 		p.done <- pendingResult{err: err}
 		return p
 	}
 	payload := EncodeCall(xid, prog, vers, proc, args)
 	go func() {
-		body, err := c.transact(key, proc, payload, ch)
+		body, err := c.transact(key, xid, proc, payload, pc.ch)
 		c.unregister(xid)
 		p.done <- pendingResult{body: body, err: err}
 	}()

@@ -473,3 +473,62 @@ func FuzzParse(f *testing.F) {
 		_, _ = IsCall(payload)
 	})
 }
+
+// TestStrayReplyRejected pins the peer-address check: a reply carrying
+// the right xid but sourced from an address the call was never sent to
+// must be ignored, leaving the call registered for the real peer's
+// answer. This is what stops one replica of an interposed fan-out from
+// acknowledging a write directly to the client after the router lost
+// its soft state.
+func TestStrayReplyRejected(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	sp, err := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imposter, err := n.Bind(netsim.Addr{Host: 9, Port: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(cp, sp.Addr(), ClientConfig{Timeout: time.Second, Retries: 2})
+	defer cli.Close()
+
+	clientAddr := cp.Addr()
+	go func() {
+		d, err := sp.Recv(0)
+		if err != nil {
+			return
+		}
+		call, err := ParseCall(netsim.Payload(d))
+		netsim.FreeBuf(d)
+		if err != nil {
+			return
+		}
+		// The imposter answers first, from the wrong address…
+		stray := EncodeReply(call.Xid, AcceptSuccess, func(e *xdr.Encoder) { e.PutUint32(0xBAD) })
+		_ = imposter.SendTo(clientAddr, stray)
+		// …and only after the client has provably seen and rejected it
+		// does the real server reply.
+		for i := 0; i < 200 && cli.StrayReplies() == 0; i++ {
+			time.Sleep(time.Millisecond)
+		}
+		real := EncodeReply(call.Xid, AcceptSuccess, func(e *xdr.Encoder) { e.PutUint32(0x600D) })
+		_ = sp.SendTo(clientAddr, real)
+	}()
+
+	body, err := cli.Call(7, 1, 3, nil)
+	if err != nil {
+		t.Fatalf("call failed: %v", err)
+	}
+	v, err := xdr.NewDecoder(body).Uint32()
+	if err != nil || v != 0x600D {
+		t.Fatalf("got body %x, %v; want the real server's reply", v, err)
+	}
+	if got := cli.StrayReplies(); got != 1 {
+		t.Fatalf("StrayReplies = %d, want 1", got)
+	}
+}

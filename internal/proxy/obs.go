@@ -1,12 +1,14 @@
 package proxy
 
 import (
+	"fmt"
 	"time"
 
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
 	"slice/internal/obs"
 	"slice/internal/oncrpc"
+	"slice/internal/replica"
 	"slice/internal/xdr"
 )
 
@@ -31,9 +33,18 @@ type proxyHists struct {
 	hop      [obs.HopMount + 1]*obs.Histogram
 	e2e      [nfsproto.ProcCommit + 1]*obs.Histogram
 	mount    *obs.Histogram
+
+	// Replica-layer counters (empty/nil when the array is unreplicated):
+	// dirtyOcc samples dirty-set occupancy at each write fan-out, pinned
+	// counts reads pinned to a primary by a dirty object, and
+	// readSpread[slot] counts spread reads sent to each member slot —
+	// the per-replica read balance slicectl reports.
+	dirtyOcc   *obs.Histogram
+	pinned     *obs.Histogram
+	readSpread []*obs.Histogram
 }
 
-func newProxyHists(reg *obs.Registry) *proxyHists {
+func newProxyHists(reg *obs.Registry, replicas *replica.Map) *proxyHists {
 	h := &proxyHists{
 		classify: reg.Hist("stage.classify"),
 		route:    reg.Hist("stage.route"),
@@ -45,6 +56,18 @@ func newProxyHists(reg *obs.Registry) *proxyHists {
 	}
 	for proc := range h.e2e {
 		h.e2e[proc] = reg.Hist("e2e." + obs.OpName(nfsproto.Program, uint32(proc)))
+	}
+	if replicas.Replicated() {
+		h.dirtyOcc = reg.Hist("replica.dirty_occupancy")
+		h.pinned = reg.Hist("replica.pinned_reads")
+		// One histogram per member slot, named group.member so slicectl
+		// can report per-group balance without knowing the topology.
+		h.readSpread = make([]*obs.Histogram, replicas.Slots())
+		for _, g := range replicas.Groups() {
+			for m := range g.Members {
+				h.readSpread[g.Slot0+m] = reg.Hist(fmt.Sprintf("replica.read[%d.%d]", g.ID, m))
+			}
+		}
 	}
 	return h
 }

@@ -136,7 +136,9 @@ func (p *Proxy) objOp(sp *obs.Span, addr netsim.Addr, proc uint32, fh fhandle.Ha
 
 // dataSites enumerates the sites that may hold data of fh: its small-file
 // server and — when the file extends past the threshold, or its size is
-// unknown — every storage node.
+// unknown — every storage node, with replica-group primaries expanded to
+// their whole group so removes, truncates, and commit barriers reach
+// every member.
 func (p *Proxy) dataSites(fh fhandle.Handle) []netsim.Addr {
 	var out []netsim.Addr
 	if p.cfg.IO.SmallFile != nil {
@@ -150,10 +152,19 @@ func (p *Proxy) dataSites(fh fhandle.Handle) []netsim.Addr {
 	}
 	if large {
 		seen := make(map[netsim.Addr]bool)
-		for _, a := range p.cfg.IO.Storage.Physical() {
+		add := func(a netsim.Addr) {
 			if !seen[a] {
 				seen[a] = true
 				out = append(out, a)
+			}
+		}
+		for _, a := range p.cfg.IO.Storage.Physical() {
+			if g, ok := p.cfg.IO.Replicas.GroupOf(a); ok {
+				for _, m := range g.Members {
+					add(m)
+				}
+			} else {
+				add(a)
 			}
 		}
 	}
@@ -348,6 +359,13 @@ func (p *Proxy) absorbCommit(client netsim.Addr, xid uint32, info nfsproto.Reque
 	// client retains and retries its uncommitted writes.
 	if committed {
 		p.coordComplete(sp, id)
+		if p.dirty != nil {
+			// The commit barrier drained the file's window on every
+			// member: whatever over-approximated dirtiness the object
+			// accumulated (lost records, partial fan-outs) is resolved,
+			// and its reads may spread again.
+			p.dirty.ForceClear(fh.Ident())
+		}
 	} else if id == 0 {
 		fail := nfsproto.CommitRes{Status: nfsproto.ErrIO}
 		payload := oncrpc.EncodeReply(xid, oncrpc.AcceptSuccess, fail.Encode)

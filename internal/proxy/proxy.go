@@ -11,6 +11,7 @@ import (
 	"slice/internal/nfsproto"
 	"slice/internal/obs"
 	"slice/internal/oncrpc"
+	"slice/internal/replica"
 	"slice/internal/route"
 	"slice/internal/xdr"
 )
@@ -137,6 +138,14 @@ type pendingReq struct {
 	// a helper goroutine because hooks issue blocking RPCs.
 	onOK func()
 
+	// Replica bookkeeping (nil dirty set disables all of it). dirtyMark
+	// says this record holds one dirty-set count on dirtyKey, released
+	// only when every replica acknowledged success; readSlot is 1 + the
+	// load-array slot charged for a spread read (0: none).
+	dirtyMark bool
+	dirtyKey  fhandle.Key
+	readSlot  int32
+
 	// Observability state (see obs.go). All of it is written before the
 	// record is published to the pending table; after pairing, the
 	// response path owns the record exclusively.
@@ -182,6 +191,14 @@ type Proxy struct {
 	names *nameCache
 	maps  *mapCache
 
+	// dirty is the per-object dirty set of the replica layer: an object
+	// is dirty while a fanned-out WRITE to its group is in flight, and
+	// its reads pin to the primary. nil when the array is unreplicated.
+	// loads counts this µproxy's outstanding spread reads per member
+	// slot, the weights of the power-of-two-choices read placement.
+	dirty *replica.DirtySet
+	loads []atomic.Int64
+
 	clientsMu sync.Mutex
 	clients   map[netsim.Addr]*oncrpc.Client
 	// coordCli is the coordinator client; unlike the per-address clients
@@ -214,8 +231,16 @@ func New(cfg Config) *Proxy {
 		stopCh:  make(chan struct{}),
 		tracer:  cfg.Tracer,
 	}
+	if cfg.IO != nil && cfg.IO.Replicas.Replicated() {
+		p.dirty = replica.NewDirtySet()
+		p.loads = make([]atomic.Int64, cfg.IO.Replicas.Slots())
+	}
 	if cfg.Obs != nil {
-		p.hists = newProxyHists(cfg.Obs)
+		var rm *replica.Map
+		if cfg.IO != nil {
+			rm = cfg.IO.Replicas
+		}
+		p.hists = newProxyHists(cfg.Obs, rm)
 	}
 	coordAddr := cfg.Coord
 	p.coordAddr.Store(&coordAddr)
@@ -274,7 +299,8 @@ func (p *Proxy) SetCoord(a netsim.Addr) { p.coordAddr.Store(&a) }
 // routeVersion folds the versions of every table the µproxy forwards by;
 // it changes exactly when a failover republishes some server's address.
 func (p *Proxy) routeVersion() uint64 {
-	v := p.cfg.Names.Dirs.Version() + p.cfg.IO.Storage.Version()
+	v := p.cfg.Names.Dirs.Version() + p.cfg.IO.Storage.Version() +
+		p.cfg.IO.Replicas.Version()
 	if p.cfg.IO.SmallFile != nil {
 		v += p.cfg.IO.SmallFile.Version()
 	}
@@ -317,6 +343,7 @@ func (p *Proxy) FlushSoftState() {
 	p.attrs.clear()
 	p.names.clear()
 	p.maps.clear()
+	p.resetReplica()
 }
 
 // DropSoftState discards soft state without writeback, simulating a
@@ -326,6 +353,37 @@ func (p *Proxy) DropSoftState() {
 	p.attrs.clear()
 	p.names.clear()
 	p.maps.clear()
+	p.resetReplica()
+}
+
+// resetReplica clears the dirty set and the read-load counters along
+// with the rest of the soft state. A fresh (or rebooted) µproxy starts
+// with no dirtiness knowledge; retransmitted WRITEs re-mark their
+// objects, and until they do, an in-flight write's object may be read
+// from any member — the same window §2.1 accepts for every other piece
+// of lost soft state, closed for committed data by the COMMIT barrier.
+func (p *Proxy) resetReplica() {
+	if p.dirty == nil {
+		return
+	}
+	p.dirty.Reset()
+	for i := range p.loads {
+		p.loads[i].Store(0)
+	}
+}
+
+// DirtyLen reports the dirty-set size (0 when unreplicated).
+func (p *Proxy) DirtyLen() int {
+	if p.dirty == nil {
+		return 0
+	}
+	return p.dirty.Len()
+}
+
+// ObjectDirty reports whether fh's object currently has a write in
+// flight (or an over-approximated leftover mark) pinning its reads.
+func (p *Proxy) ObjectDirty(fh fhandle.Handle) bool {
+	return p.dirty != nil && p.dirty.Dirty(fh.Ident())
 }
 
 // CachedAttr exposes the attribute cache for tests and for the client-side
@@ -615,13 +673,23 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 
 	pd.hop = obs.HopStorage
 	stripe := io.StripeIndex(info.Offset)
-	if info.Proc == nfsproto.ProcWrite && info.FH.Mirrored() {
+	if info.Proc == nfsproto.ProcWrite && (info.FH.Mirrored() || p.dirty != nil) {
 		targets, err := p.writeTargets(pd.span, info.FH, stripe)
 		if err != nil || len(targets) == 0 {
 			p.dropPending(pd)
 			return p.consumeDrop(d)
 		}
 		pd.expect = len(targets)
+		if p.dirty != nil && len(targets) > 1 {
+			// Mark before the packets leave: a read racing this fan-out
+			// must see the object dirty and pin to the primary.
+			pd.dirtyKey = info.FH.Ident()
+			pd.dirtyMark = true
+			p.dirty.MarkWrite(pd.dirtyKey)
+			if p.hists != nil {
+				p.hists.dirtyOcc.Record(uint64(p.dirty.Len()))
+			}
+		}
 		p.st.rewriteNS.Add(uint64(time.Since(t0)))
 		return p.forwardMulti(d, key, pd, targets)
 	}
@@ -630,6 +698,9 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 	var err error
 	if info.Proc == nfsproto.ProcRead {
 		addr, err = p.readTarget(pd.span, info.FH, stripe)
+		if err == nil && p.dirty != nil {
+			addr = p.spreadRead(pd, key, addr, stripe)
+		}
 	} else {
 		var ts []netsim.Addr
 		ts, err = p.writeTargets(pd.span, info.FH, stripe)
@@ -670,9 +741,47 @@ func (p *Proxy) writeTargets(sp *obs.Span, fh fhandle.Handle, stripe uint64) ([]
 		if err != nil {
 			return nil, err
 		}
+		if g, ok := p.cfg.IO.Replicas.GroupOf(a); ok {
+			return g.Members, nil
+		}
 		return []netsim.Addr{a}, nil
 	}
 	return p.cfg.IO.WriteTargets(fh, stripe)
+}
+
+// spreadRead picks the replica-group member to serve a read that the
+// placement resolved to primary. A dirty object pins to the primary —
+// its reply order defines the file's contents while writes are in
+// flight; a clean object goes to the less loaded of two member slots
+// drawn from the request hash (power-of-two-choices over this µproxy's
+// own outstanding spread reads).
+func (p *Proxy) spreadRead(pd *pendingReq, key pendKey, primary netsim.Addr, stripe uint64) netsim.Addr {
+	g, ok := p.cfg.IO.Replicas.GroupOf(primary)
+	if !ok || len(g.Members) <= 1 {
+		return primary
+	}
+	if p.dirty.Dirty(pd.info.FH.Ident()) {
+		if p.hists != nil {
+			p.hists.pinned.Record(1)
+		}
+		return g.Members[0]
+	}
+	h := pendHash(key) ^ (stripe+1)*0x9E3779B97F4A7C15
+	i, j := replica.Pick2(len(g.Members), h)
+	slot := g.Slot0 + i
+	if alt := g.Slot0 + j; alt < len(p.loads) && slot < len(p.loads) &&
+		p.loads[alt].Load() < p.loads[slot].Load() {
+		i, slot = j, alt
+	}
+	if slot >= len(p.loads) { // topology outgrew the load array: stay safe
+		return primary
+	}
+	p.loads[slot].Add(1)
+	pd.readSlot = int32(slot + 1)
+	if p.hists != nil && slot < len(p.hists.readSpread) {
+		p.hists.readSpread[slot].Record(1)
+	}
+	return g.Members[i]
 }
 
 // mappedSite returns the block-map site for a stripe, fetching a fragment
@@ -726,7 +835,10 @@ func (p *Proxy) retargets(prog uint32, proc nfsproto.Proc, info nfsproto.Request
 			if err != nil || len(ts) == 0 {
 				return nil, false
 			}
-			if !info.FH.Mirrored() {
+			// An unmirrored, unreplicated write goes to one node; with
+			// replication the retransmission keeps the full fan-out so
+			// every member still converges.
+			if !info.FH.Mirrored() && p.dirty == nil {
 				ts = ts[:1]
 			}
 			return ts, true
@@ -801,18 +913,22 @@ func (p *Proxy) forwardMulti(d []byte, key pendKey, pd *pendingReq, targets []ne
 // injectToAll sends d to every target, duplicating it from the buffer
 // pool for all but the first. Ownership of d transfers to the network.
 func (p *Proxy) injectToAll(d []byte, targets []netsim.Addr) {
-	for i, target := range targets {
-		dup := d
-		if i > 0 {
-			dup = netsim.GetBuf(len(d))
-			copy(dup, d)
-		}
+	if len(targets) == 0 {
+		netsim.FreeBuf(d)
+		return
+	}
+	// Every copy is cut BEFORE the original is injected anywhere: Inject
+	// hands the buffer to the network, which may deliver, free, and
+	// recycle it while this loop is still running — copying from d after
+	// its first injection would mirror whatever the pool reused it for.
+	for _, target := range targets[1:] {
+		dup := netsim.GetBuf(len(d))
+		copy(dup, d)
 		netsim.RewriteDst(dup, target)
 		_ = p.cfg.Net.Inject(dup)
 	}
-	if len(targets) == 0 {
-		netsim.FreeBuf(d)
-	}
+	netsim.RewriteDst(d, targets[0])
+	_ = p.cfg.Net.Inject(d)
 }
 
 // rpc returns a client for addr, creating one on first use.

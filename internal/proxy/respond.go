@@ -31,8 +31,20 @@ func (p *Proxy) handleResponse(d []byte, key pendKey) netsim.Verdict {
 	pd := s.pend[key]
 	if pd == nil {
 		s.mu.Unlock()
-		// Soft state was lost (or a duplicate reply); let it through
-		// untouched. The client's RPC layer matches by xid, or ignores.
+		// Soft state was lost (or a duplicate reply). For a single-site
+		// request the server's answer IS the virtual server's answer, so
+		// let it through untouched — the client's RPC layer matches by
+		// xid, or ignores. Not so over a replicated array: a WRITE fans
+		// out to the whole group, and one member's stray reply must not
+		// ack the client as if every replica applied it (the other
+		// members would silently diverge). Drop it instead; the client's
+		// retransmission rebuilds the record — and re-marks the dirty
+		// set — with a full fan-out.
+		if p.dirty != nil {
+			if g, ok := p.cfg.IO.Replicas.MemberOf(h.Src); ok && len(g.Members) > 1 {
+				return p.consumeDrop(d)
+			}
+		}
 		return netsim.Pass
 	}
 	if len(pd.targets) > 1 {
@@ -91,9 +103,31 @@ func (p *Proxy) handleResponse(d []byte, key pendKey) netsim.Verdict {
 	return netsim.Consumed
 }
 
+// settleReplica retires a completed request's replica bookkeeping: a
+// spread read releases its load slot; a fanned-out write clears its
+// dirty mark only when every replica acknowledged success. A failed or
+// partial fan-out leaves the object dirty — the safe over-approximation:
+// its reads pin to the primary until a retransmission completes the
+// fan-out or a COMMIT barrier force-clears the entry.
+func (p *Proxy) settleReplica(pd *pendingReq, rep oncrpc.Reply) {
+	if slot := int(pd.readSlot) - 1; slot >= 0 && slot < len(p.loads) {
+		p.loads[slot].Add(-1)
+	}
+	if !pd.dirtyMark {
+		return
+	}
+	// rep.Body already holds the worst outcome (errReply) of the fan-out.
+	if rep.Accept == oncrpc.AcceptSuccess && replyStatus(pd.proc, rep.Body) == nfsproto.OK {
+		p.dirty.ClearWrite(pd.dirtyKey)
+	}
+}
+
 // finishResponse dispatches a fully-paired reply to its per-procedure
 // handler, then recycles the pending record.
 func (p *Proxy) finishResponse(d []byte, key pendKey, pd *pendingReq, rep oncrpc.Reply) {
+	if p.dirty != nil {
+		p.settleReplica(pd, rep)
+	}
 	if pd.prog != nfsproto.Program || rep.Accept != oncrpc.AcceptSuccess {
 		p.passThrough(d)
 	} else {

@@ -1,0 +1,126 @@
+package replica
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"slice/internal/fhandle"
+)
+
+// dirtyShards is the dirty-set shard count (power of two), matching the
+// µproxy's other soft-state tables.
+const dirtyShards = 16
+
+// DirtySet tracks, per object, how many WRITEs are in flight to the
+// object's replica group. It is µproxy soft state: a writer marks the
+// object before fanning the WRITE out, and clears its mark only when
+// every replica has acknowledged, so Dirty()==false proves all members
+// hold identical acknowledged contents and a read may go to any of them.
+//
+// The count (rather than a set bit) is what makes overlapping writes
+// safe: the object stays dirty until the LAST in-flight write drains.
+// Failure handling leans on over-approximation in one direction only —
+// a mark that can no longer be cleared (fanned-out copy lost with its
+// pending record, proxy failover re-marking via client retransmission)
+// merely pins reads to the primary until the next COMMIT forces the
+// entry clear; a clear without an all-replica ack would be a
+// consistency bug, so nothing ever clears eagerly.
+type DirtySet struct {
+	shards [dirtyShards]dirtyShard
+	total  atomic.Int64
+}
+
+type dirtyShard struct {
+	mu sync.Mutex
+	m  map[fhandle.Key]int32
+}
+
+// NewDirtySet returns an empty dirty set.
+func NewDirtySet() *DirtySet {
+	d := &DirtySet{}
+	for i := range d.shards {
+		d.shards[i].m = make(map[fhandle.Key]int32)
+	}
+	return d
+}
+
+// dirtyHash mixes a handle identity exactly like the µproxy cache
+// shards do (Fibonacci hashing; the high bits carry the entropy).
+func dirtyHash(k fhandle.Key) uint64 {
+	h := k.FileID ^ uint64(k.Volume)<<32 ^ uint64(k.Gen)
+	return h * 0x9E3779B97F4A7C15
+}
+
+func (d *DirtySet) shard(k fhandle.Key) *dirtyShard {
+	return &d.shards[int(dirtyHash(k)>>60)&(dirtyShards-1)]
+}
+
+// MarkWrite records one more in-flight write on the object. The caller
+// must pair it with exactly one ClearWrite (or rely on a later COMMIT's
+// ForceClear): mark once per pending-request record, not per
+// transmission, so retransmissions of a tracked request do not inflate
+// the count.
+func (d *DirtySet) MarkWrite(k fhandle.Key) {
+	s := d.shard(k)
+	s.mu.Lock()
+	if s.m[k]++; s.m[k] == 1 {
+		d.total.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// ClearWrite records that one in-flight write fully acknowledged on
+// every replica. The object becomes clean when the last one drains.
+func (d *DirtySet) ClearWrite(k fhandle.Key) {
+	s := d.shard(k)
+	s.mu.Lock()
+	if c, ok := s.m[k]; ok {
+		if c <= 1 {
+			delete(s.m, k)
+			d.total.Add(-1)
+		} else {
+			s.m[k] = c - 1
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ForceClear drops the object's entry whatever its count: the COMMIT
+// barrier. A client only commits after draining its own write window,
+// and the µproxy only calls this once every replica acknowledged the
+// COMMIT, so any count still standing belongs to writes whose pending
+// records died with a failed replica or a crashed fleet member — their
+// data is nevertheless covered by the committed state.
+func (d *DirtySet) ForceClear(k fhandle.Key) {
+	s := d.shard(k)
+	s.mu.Lock()
+	if _, ok := s.m[k]; ok {
+		delete(s.m, k)
+		d.total.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// Dirty reports whether the object has writes in flight (or marks no
+// completed write ever cleared).
+func (d *DirtySet) Dirty(k fhandle.Key) bool {
+	s := d.shard(k)
+	s.mu.Lock()
+	_, ok := s.m[k]
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of dirty objects.
+func (d *DirtySet) Len() int { return int(d.total.Load()) }
+
+// Reset empties the set (soft-state drop).
+func (d *DirtySet) Reset() {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		d.total.Add(-int64(len(s.m)))
+		s.m = make(map[fhandle.Key]int32)
+		s.mu.Unlock()
+	}
+}

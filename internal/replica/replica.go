@@ -1,0 +1,243 @@
+// Package replica implements k-way storage replication underneath the
+// routing tables, in the style of Harmonia's in-network conflict
+// detection (PAPERS.md): the placement policy keeps routing to one
+// *primary* per logical site, and a replica Map expands that primary to
+// its whole group — writes fan out to every member, reads spread across
+// members that are provably consistent. Consistency is tracked by a
+// per-object dirty set in the µproxy's soft state: an object is dirty
+// while any WRITE to its group is in flight and becomes clean again only
+// when every replica has acknowledged (or a COMMIT barrier has drained
+// the window), so a clean object may be read from ANY member and a dirty
+// one is pinned to the primary, whose reply order defines the file's
+// contents.
+//
+// Like every other µproxy table, the Map is an immutable snapshot behind
+// an atomic pointer (data-path readers never lock; Swap installs a new
+// generation and bumps the version so pending-request retargeting
+// notices), and the dirty set is sharded soft state: losing it is safe
+// because a fresh µproxy over-approximates — absent knowledge an entry
+// re-marked by a retransmitted WRITE pins reads to the primary until the
+// next COMMIT clears it.
+package replica
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"slice/internal/netsim"
+)
+
+// Group is one replica group: Members[0] is the primary — the address
+// the routing tables resolve to — and the rest are its mirrors. Slot0 is
+// the group's first index into the flat per-member slot space (see
+// Map.Slots); member i of the group occupies slot Slot0+i.
+type Group struct {
+	ID      uint32
+	Slot0   int
+	Members []netsim.Addr // never mutated once published
+}
+
+// mapState is one immutable group-topology generation.
+type mapState struct {
+	degree    int
+	groups    []Group
+	slots     int // total members across groups
+	byPrimary map[netsim.Addr]int32 // primary address -> group index
+	byMember  map[netsim.Addr]int32 // any member address -> group index
+	version   uint64
+}
+
+// Map is the versioned replica-group table layered under route.Table's
+// physical-node map: the table routes to primaries, the Map expands a
+// primary to its group. Members marked down (a failed node, folded into
+// a topology swap like route.Fleet) are filtered out of their group
+// until marked up again.
+type Map struct {
+	mu     sync.Mutex // serializes writers (Swap, MarkDown, MarkUp)
+	nodes  []netsim.Addr
+	degree int
+	down   map[netsim.Addr]bool
+	state  atomic.Pointer[mapState]
+}
+
+// NewMap partitions nodes into groups of degree consecutive members
+// (the last group absorbs any remainder) and returns the versioned
+// table. degree <= 1 yields an empty map that expands nothing.
+func NewMap(degree int, nodes []netsim.Addr) *Map {
+	m := &Map{
+		nodes:  append([]netsim.Addr(nil), nodes...),
+		degree: degree,
+		down:   make(map[netsim.Addr]bool),
+	}
+	m.store(1)
+	return m
+}
+
+// store rebuilds the published snapshot from nodes/degree/down. Callers
+// other than NewMap hold m.mu. A group whose members are all down keeps
+// its first (dead) member so lookups still resolve somewhere — requests
+// to it stall and clients retransmit, exactly as an unreplicated outage
+// behaves.
+func (m *Map) store(version uint64) {
+	st := &mapState{degree: m.degree, version: version,
+		byPrimary: make(map[netsim.Addr]int32),
+		byMember:  make(map[netsim.Addr]int32)}
+	if m.degree > 1 {
+		for base := 0; base < len(m.nodes); base += m.degree {
+			end := base + m.degree
+			if end > len(m.nodes) || len(m.nodes)-end < m.degree {
+				end = len(m.nodes)
+			}
+			var members []netsim.Addr
+			for _, a := range m.nodes[base:end] {
+				if !m.down[a] {
+					members = append(members, a)
+				}
+			}
+			if len(members) == 0 {
+				members = append(members, m.nodes[base])
+			}
+			g := Group{
+				ID:      uint32(len(st.groups)),
+				Slot0:   st.slots,
+				Members: members,
+			}
+			st.byPrimary[g.Members[0]] = int32(len(st.groups))
+			for _, a := range g.Members {
+				st.byMember[a] = int32(len(st.groups))
+			}
+			st.groups = append(st.groups, g)
+			st.slots += len(g.Members)
+			if end == len(m.nodes) {
+				break
+			}
+		}
+	}
+	m.state.Store(st)
+}
+
+// Swap installs a new node list at the same degree, clearing any down
+// marks and bumping the version. In-flight lookups keep the snapshot
+// they loaded.
+func (m *Map) Swap(nodes []netsim.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.state.Load()
+	m.nodes = append(m.nodes[:0], nodes...)
+	m.down = make(map[netsim.Addr]bool)
+	m.store(cur.version + 1)
+}
+
+// MarkDown filters addr out of its group in a new generation — failure
+// detection folded into one topology swap: writes stop awaiting the
+// dead member, reads stop spreading to it, and the version bump makes
+// retransmitted in-flight requests re-resolve onto the survivors. When
+// addr was its group's primary the next member is promoted; the caller
+// owns rebinding the routing table to the new primary.
+func (m *Map) MarkDown(addr netsim.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.state.Load()
+	m.down[addr] = true
+	m.store(cur.version + 1)
+}
+
+// MarkUp restores a member marked down (after its resync completed),
+// bumping the version so spread reads start reaching it again.
+func (m *Map) MarkUp(addr netsim.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.state.Load()
+	delete(m.down, addr)
+	m.store(cur.version + 1)
+}
+
+// Degree returns the replication degree (members per group).
+func (m *Map) Degree() int {
+	if m == nil {
+		return 1
+	}
+	return m.state.Load().degree
+}
+
+// Version returns the topology generation, incremented by every Swap.
+// A nil map is generation 0 forever.
+func (m *Map) Version() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.state.Load().version
+}
+
+// NumGroups returns the group count.
+func (m *Map) NumGroups() int { return len(m.state.Load().groups) }
+
+// Groups returns the current groups. The slice is the immutable
+// snapshot itself; callers must not mutate it.
+func (m *Map) Groups() []Group { return m.state.Load().groups }
+
+// Replicated reports whether the map actually expands anything: a nil
+// map or degree <= 1 routes exactly as an unreplicated array.
+func (m *Map) Replicated() bool {
+	return m != nil && len(m.state.Load().groups) > 0
+}
+
+// GroupOf returns the group whose primary is addr. The data path calls
+// this with addresses freshly resolved from the same storage table the
+// map was built against; a miss means addr is not a primary. Safe on a
+// nil map (unreplicated policies carry none).
+func (m *Map) GroupOf(addr netsim.Addr) (Group, bool) {
+	if m == nil {
+		return Group{}, false
+	}
+	st := m.state.Load()
+	if i, ok := st.byPrimary[addr]; ok {
+		return st.groups[i], true
+	}
+	return Group{}, false
+}
+
+// MemberOf returns the group addr currently belongs to — primary or
+// mirror. Unlike GroupOf (which resolves routing-table primaries), this
+// answers "is this address one of a replica set" for reply
+// classification: a reply arriving from any member of a multi-member
+// group is only a partial answer to a fanned-out request.
+func (m *Map) MemberOf(addr netsim.Addr) (Group, bool) {
+	if m == nil {
+		return Group{}, false
+	}
+	st := m.state.Load()
+	if i, ok := st.byMember[addr]; ok {
+		return st.groups[i], true
+	}
+	return Group{}, false
+}
+
+// Slots returns the flat per-member slot count (total members across all
+// groups — remainder groups may exceed the nominal degree), the size of
+// the load arrays Pick2 choices are weighed against.
+func (m *Map) Slots() int {
+	if m == nil {
+		return 0
+	}
+	return m.state.Load().slots
+}
+
+// Pick2 derives two distinct member slots in [0, n) from a request hash,
+// the candidate pair for a power-of-two-choices read placement: the
+// caller compares its own outstanding-read counts for both and sends to
+// the less loaded. One member (n <= 1) returns (0, 0). The two halves of
+// the multiplied hash are independent enough that the pair itself is
+// near-uniform over ordered pairs.
+func Pick2(n int, h uint64) (int, int) {
+	if n <= 1 {
+		return 0, 0
+	}
+	h *= 0x9E3779B97F4A7C15
+	i := int((h >> 32) % uint64(n))
+	j := int(uint64(uint32(h)) % uint64(n-1))
+	if j >= i {
+		j++ // skew the second draw around the first: i != j, still uniform
+	}
+	return i, j
+}

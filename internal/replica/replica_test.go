@@ -1,0 +1,192 @@
+package replica
+
+import (
+	"sync"
+	"testing"
+
+	"slice/internal/fhandle"
+	"slice/internal/netsim"
+)
+
+func addrs(n int) []netsim.Addr {
+	out := make([]netsim.Addr, n)
+	for i := range out {
+		out[i] = netsim.Addr{Host: uint32(10 + i), Port: 2049}
+	}
+	return out
+}
+
+func TestMapPartitionsConsecutive(t *testing.T) {
+	nodes := addrs(6)
+	m := NewMap(2, nodes)
+	if got := m.NumGroups(); got != 3 {
+		t.Fatalf("NumGroups = %d, want 3", got)
+	}
+	if got := m.Slots(); got != 6 {
+		t.Fatalf("Slots = %d, want 6", got)
+	}
+	for i, g := range m.Groups() {
+		if g.ID != uint32(i) {
+			t.Fatalf("group %d has ID %d", i, g.ID)
+		}
+		if len(g.Members) != 2 {
+			t.Fatalf("group %d has %d members", i, len(g.Members))
+		}
+		if g.Members[0] != nodes[2*i] || g.Members[1] != nodes[2*i+1] {
+			t.Fatalf("group %d members %v not consecutive", i, g.Members)
+		}
+		got, ok := m.GroupOf(g.Members[0])
+		if !ok || got.ID != g.ID {
+			t.Fatalf("GroupOf(primary of %d) = %v, %v", i, got, ok)
+		}
+		// Non-primaries are not lookup keys: the routing table only
+		// resolves to primaries.
+		if _, ok := m.GroupOf(g.Members[1]); ok {
+			t.Fatalf("GroupOf matched a non-primary of group %d", i)
+		}
+	}
+}
+
+func TestMapRemainderFoldsIntoLastGroup(t *testing.T) {
+	m := NewMap(2, addrs(5))
+	if got := m.NumGroups(); got != 2 {
+		t.Fatalf("NumGroups = %d, want 2", got)
+	}
+	if got := len(m.Groups()[1].Members); got != 3 {
+		t.Fatalf("last group has %d members, want 3", got)
+	}
+}
+
+func TestMapDegreeOneExpandsNothing(t *testing.T) {
+	m := NewMap(1, addrs(4))
+	if m.Replicated() {
+		t.Fatal("degree-1 map claims to replicate")
+	}
+	if _, ok := m.GroupOf(addrs(4)[0]); ok {
+		t.Fatal("degree-1 map resolved a group")
+	}
+	var nilMap *Map
+	if nilMap.Replicated() {
+		t.Fatal("nil map claims to replicate")
+	}
+}
+
+func TestMapSwapBumpsVersion(t *testing.T) {
+	m := NewMap(2, addrs(4))
+	v := m.Version()
+	m.Swap(addrs(4))
+	if m.Version() != v+1 {
+		t.Fatalf("version %d after swap, want %d", m.Version(), v+1)
+	}
+	if m.Degree() != 2 {
+		t.Fatalf("swap changed degree to %d", m.Degree())
+	}
+}
+
+func TestPick2DistinctAndCovering(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		seen := make(map[int]int)
+		for h := uint64(0); h < 4096; h++ {
+			i, j := Pick2(n, h)
+			if i == j {
+				t.Fatalf("n=%d h=%d: identical candidates %d", n, h, i)
+			}
+			if i < 0 || i >= n || j < 0 || j >= n {
+				t.Fatalf("n=%d: candidates %d,%d out of range", n, i, j)
+			}
+			seen[i]++
+			seen[j]++
+		}
+		for s := 0; s < n; s++ {
+			if seen[s] == 0 {
+				t.Fatalf("n=%d: slot %d never a candidate", n, s)
+			}
+		}
+	}
+	if i, j := Pick2(1, 7); i != 0 || j != 0 {
+		t.Fatalf("Pick2(1) = %d,%d", i, j)
+	}
+}
+
+func key(id uint64) fhandle.Key {
+	return fhandle.Handle{Volume: 1, FileID: id, Gen: 1}.Ident()
+}
+
+func TestDirtySetCounts(t *testing.T) {
+	d := NewDirtySet()
+	k := key(7)
+	if d.Dirty(k) || d.Len() != 0 {
+		t.Fatal("fresh set not clean")
+	}
+	d.MarkWrite(k)
+	d.MarkWrite(k) // a second overlapping write
+	if !d.Dirty(k) || d.Len() != 1 {
+		t.Fatalf("after two marks: dirty=%v len=%d", d.Dirty(k), d.Len())
+	}
+	d.ClearWrite(k)
+	if !d.Dirty(k) {
+		t.Fatal("object went clean with a write still in flight")
+	}
+	d.ClearWrite(k)
+	if d.Dirty(k) || d.Len() != 0 {
+		t.Fatalf("after paired clears: dirty=%v len=%d", d.Dirty(k), d.Len())
+	}
+	// Unpaired clear is a no-op, not an underflow.
+	d.ClearWrite(k)
+	d.MarkWrite(k)
+	if !d.Dirty(k) || d.Len() != 1 {
+		t.Fatal("stray clear corrupted the count")
+	}
+	d.ForceClear(k)
+	if d.Dirty(k) || d.Len() != 0 {
+		t.Fatal("ForceClear left the entry")
+	}
+}
+
+func TestDirtySetReset(t *testing.T) {
+	d := NewDirtySet()
+	for i := uint64(0); i < 64; i++ {
+		d.MarkWrite(key(i))
+	}
+	if d.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", d.Len())
+	}
+	d.Reset()
+	if d.Len() != 0 || d.Dirty(key(3)) {
+		t.Fatal("Reset left entries")
+	}
+}
+
+func TestDirtySetConcurrent(t *testing.T) {
+	d := NewDirtySet()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := key(uint64(i % 97))
+				d.MarkWrite(k)
+				d.ClearWrite(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != 0 {
+		t.Fatalf("paired mark/clear from 8 writers left Len=%d", d.Len())
+	}
+}
+
+func TestPeerToken(t *testing.T) {
+	if PeerToken(nil) != 0 {
+		t.Fatal("nil key should yield the zero token")
+	}
+	a := PeerToken([]byte("key-a"))
+	b := PeerToken([]byte("key-b"))
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("tokens not distinct: %x %x", a, b)
+	}
+	if a != PeerToken([]byte("key-a")) {
+		t.Fatal("token not deterministic")
+	}
+}

@@ -1,0 +1,210 @@
+package replica
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slice/internal/netsim"
+	"slice/internal/oncrpc"
+	"slice/internal/xdr"
+)
+
+// fakeTarget is a ResyncTarget over a plain map (the real one is
+// storage.ObjectStore, which imports this package and so cannot be used
+// here).
+type fakeTarget struct {
+	objs map[uint64][]byte
+}
+
+func (f *fakeTarget) Truncate(id, size uint64) error {
+	b := make([]byte, size)
+	copy(b, f.objs[id])
+	f.objs[id] = b
+	return nil
+}
+
+func (f *fakeTarget) WriteAt(id uint64, off uint64, p []byte) error {
+	copy(f.objs[id][off:], p)
+	return nil
+}
+
+// fakePeer serves the replica-peer program from an in-memory object map,
+// with the real wire encoding: paged List, chunked Read, bearer-token
+// checks, and a set of ids that vanish between List and Read.
+type fakePeer struct {
+	token uint64
+	ids   []uint64 // ascending
+	objs  map[uint64][]byte
+	gone  map[uint64]bool // listed, then PeerNoObj on read
+}
+
+func (p *fakePeer) ServeRPC(call oncrpc.Call, _ netsim.Addr) (func(*xdr.Encoder), uint32) {
+	if call.Program != PeerProgram || call.Version != PeerVersion {
+		return nil, oncrpc.AcceptProgUnavail
+	}
+	d := xdr.NewDecoder(call.Body)
+	token, _ := d.Uint64()
+	if token != p.token {
+		return func(e *xdr.Encoder) { e.PutUint32(PeerDenied) }, oncrpc.AcceptSuccess
+	}
+	switch call.Proc {
+	case PeerProcList:
+		after, _ := d.Uint64()
+		max, _ := d.Uint32()
+		if max > PeerListMax {
+			max = PeerListMax
+		}
+		var page []uint64
+		for _, id := range p.ids {
+			if id > after {
+				page = append(page, id)
+				if uint32(len(page)) == max {
+					break
+				}
+			}
+		}
+		return func(e *xdr.Encoder) {
+			e.PutUint32(PeerOK)
+			e.PutUint32(uint32(len(page)))
+			for _, id := range page {
+				e.PutUint64(id)
+				e.PutUint64(uint64(len(p.objs[id])))
+			}
+		}, oncrpc.AcceptSuccess
+	case PeerProcRead:
+		id, _ := d.Uint64()
+		off, _ := d.Uint64()
+		count, _ := d.Uint32()
+		if p.gone[id] {
+			return func(e *xdr.Encoder) { e.PutUint32(PeerNoObj) }, oncrpc.AcceptSuccess
+		}
+		data := p.objs[id]
+		if off > uint64(len(data)) {
+			off = uint64(len(data))
+		}
+		end := off + uint64(count)
+		if end > uint64(len(data)) {
+			end = uint64(len(data))
+		}
+		return func(e *xdr.Encoder) {
+			e.PutUint32(PeerOK)
+			e.PutOpaque(data[off:end])
+		}, oncrpc.AcceptSuccess
+	default:
+		return nil, oncrpc.AcceptProcUnavail
+	}
+}
+
+func startPeer(t *testing.T, peer *fakePeer) *oncrpc.Client {
+	t.Helper()
+	n := netsim.New(netsim.Config{})
+	sp, err := n.Bind(netsim.Addr{Host: 1, Port: 2049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := oncrpc.NewServer(sp, peer)
+	t.Cleanup(srv.Close)
+	cp, err := n.Bind(netsim.Addr{Host: 2, Port: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := oncrpc.NewClient(cp, srv.Addr(), oncrpc.ClientConfig{})
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestResyncPullsEverything drives Resync against a peer holding more
+// objects than one List page (forcing the paging loop), a multi-chunk
+// object (forcing the pipelined read window to drain mid-object), a
+// zero-length object, and an object removed between List and Read. The
+// rebuilt store must be byte-identical for everything that survived.
+func TestResyncPullsEverything(t *testing.T) {
+	peer := &fakePeer{
+		token: PeerToken([]byte("array-key")),
+		objs:  make(map[uint64][]byte),
+		gone:  map[uint64]bool{7: true},
+	}
+	big := make([]byte, 3*PeerChunk+100)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	peer.objs[3] = big
+	peer.objs[5] = nil            // zero-length: Truncate only, no reads
+	peer.objs[7] = []byte("bye")  // listed, then PeerNoObj on every read
+	peer.objs[9] = []byte("tiny") // single sub-chunk read
+	// Pad past one List page so the ids > PeerListMax force a second page.
+	for id := uint64(100); id < 100+PeerListMax; id++ {
+		peer.objs[id] = nil
+	}
+	for id := range peer.objs {
+		peer.ids = append(peer.ids, id)
+	}
+	for i := range peer.ids { // ascending, as ListAfter yields
+		for j := i + 1; j < len(peer.ids); j++ {
+			if peer.ids[j] < peer.ids[i] {
+				peer.ids[i], peer.ids[j] = peer.ids[j], peer.ids[i]
+			}
+		}
+	}
+
+	c := startPeer(t, peer)
+	dst := &fakeTarget{objs: make(map[uint64][]byte)}
+	st, err := Resync(c, peer.token, 4, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != len(peer.ids) {
+		t.Fatalf("resynced %d objects, want %d", st.Objects, len(peer.ids))
+	}
+	if want := int64(len(big) + len("tiny")); st.Bytes != want {
+		t.Fatalf("resynced %d bytes, want %d", st.Bytes, want)
+	}
+	if !bytes.Equal(dst.objs[3], big) {
+		t.Fatal("multi-chunk object not byte-identical after resync")
+	}
+	if got := dst.objs[5]; len(got) != 0 {
+		t.Fatalf("zero-length object came back with %d bytes", len(got))
+	}
+	if got := dst.objs[7]; !bytes.Equal(got, make([]byte, 3)) {
+		// Listed size 3, but every read said gone: the hole stays zeroed
+		// (the remove that raced the resync also fanned out here).
+		t.Fatalf("removed-under-us object = %q, want zeroes", got)
+	}
+	if !bytes.Equal(dst.objs[9], []byte("tiny")) {
+		t.Fatalf("small object = %q after resync", dst.objs[9])
+	}
+}
+
+// TestResyncBadToken proves the bearer check: a wrong token is refused
+// at the first List, before any object data moves.
+func TestResyncBadToken(t *testing.T) {
+	peer := &fakePeer{
+		token: PeerToken([]byte("array-key")),
+		ids:   []uint64{1},
+		objs:  map[uint64][]byte{1: []byte("secret")},
+	}
+	c := startPeer(t, peer)
+	dst := &fakeTarget{objs: make(map[uint64][]byte)}
+	_, err := Resync(c, PeerToken([]byte("wrong-key")), 4, dst)
+	if err == nil || !strings.Contains(err.Error(), "peer status 1") {
+		t.Fatalf("resync with wrong token: err = %v, want PeerDenied", err)
+	}
+	if len(dst.objs) != 0 {
+		t.Fatal("denied resync still wrote objects")
+	}
+}
+
+// TestPeerTokenDerivation pins the token semantics: nil key means open
+// (zero token), and distinct keys derive distinct tokens.
+func TestPeerTokenDerivation(t *testing.T) {
+	if PeerToken(nil) != 0 {
+		t.Fatal("nil key must derive the zero (open) token")
+	}
+	if PeerToken([]byte("a")) == PeerToken([]byte("b")) {
+		t.Fatal("distinct keys derived the same token")
+	}
+	if PeerToken([]byte("a")) == 0 {
+		t.Fatal("a real key derived the open token")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
+	"slice/internal/replica"
 )
 
 // Table maps logical server site IDs to physical server addresses. The
@@ -159,11 +160,19 @@ type IOTarget struct {
 // IOPolicy routes read/write/commit traffic. It separates small-file
 // traffic from bulk I/O at a fixed threshold offset and declusters bulk
 // blocks across the storage array with striping, optionally mirrored.
+//
+// With Replicas set, the Storage table is built over replica-group
+// PRIMARIES only: placement still resolves one address per stripe, and
+// the replica map expands it to the whole group underneath — writes
+// must reach every member (WriteTargets does the expansion), while the
+// read-side choice among members belongs to the µproxy, which alone
+// knows which objects are dirty.
 type IOPolicy struct {
-	Threshold  uint64 // small-file threshold offset in bytes
-	StripeUnit uint64 // bulk striping unit in bytes
-	SmallFile  *Table // small-file servers (nil disables separation)
-	Storage    *Table // storage nodes
+	Threshold  uint64       // small-file threshold offset in bytes
+	StripeUnit uint64       // bulk striping unit in bytes
+	SmallFile  *Table       // small-file servers (nil disables separation)
+	Storage    *Table       // storage nodes (group primaries when replicated)
+	Replicas   *replica.Map // k-way groups under Storage (nil: none)
 }
 
 // NewIOPolicy returns an I/O policy with default threshold and stripe unit.
@@ -247,21 +256,59 @@ func (p *IOPolicy) StorageSites(fh fhandle.Handle, stripe uint64) []uint32 {
 }
 
 // WriteTargets returns every storage node that must receive a write of the
-// given stripe: all replicas for mirrored files.
+// given stripe: all replicas for mirrored files, and — when the array is
+// replicated — every member of each resolved site's replica group.
 func (p *IOPolicy) WriteTargets(fh fhandle.Handle, stripe uint64) ([]netsim.Addr, error) {
 	sites := p.StorageSites(fh, stripe)
 	if len(sites) == 0 {
 		return nil, ErrEmptyTable
 	}
-	addrs := make([]netsim.Addr, len(sites))
-	for i, s := range sites {
+	addrs := make([]netsim.Addr, 0, len(sites))
+	for _, s := range sites {
 		a, err := p.Storage.Lookup(s)
 		if err != nil {
 			return nil, err
 		}
-		addrs[i] = a
+		if g, ok := p.Replicas.GroupOf(a); ok {
+			addrs = append(addrs, g.Members...)
+			continue
+		}
+		addrs = append(addrs, a)
 	}
-	return addrs, nil
+	return dedupAddrs(addrs), nil
+}
+
+// dedupAddrs removes repeats in place, preserving order (mirrored sites
+// wrapping a small array can resolve to one node more than once).
+func dedupAddrs(addrs []netsim.Addr) []netsim.Addr {
+	out := addrs[:0]
+	for _, a := range addrs {
+		dup := false
+		for _, b := range out {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ReadGroup resolves the replica group holding fh's stripe. ok is false
+// when the array is unreplicated (read from ReadTarget's answer as
+// always).
+func (p *IOPolicy) ReadGroup(fh fhandle.Handle, stripe uint64) (replica.Group, bool) {
+	if !p.Replicas.Replicated() {
+		return replica.Group{}, false
+	}
+	a, err := p.ReadTarget(fh, stripe)
+	if err != nil {
+		return replica.Group{}, false
+	}
+	return p.Replicas.GroupOf(a)
 }
 
 // ReadTarget returns the storage node to read the given stripe from. For

@@ -2,12 +2,14 @@ package storage
 
 import (
 	"sync"
+	"time"
 
 	"slice/internal/fhandle"
 	"slice/internal/netsim"
 	"slice/internal/nfsproto"
 	"slice/internal/obs"
 	"slice/internal/oncrpc"
+	"slice/internal/replica"
 	"slice/internal/xdr"
 )
 
@@ -46,6 +48,18 @@ type Node struct {
 	mu     sync.Mutex
 	capKey []byte
 	denied uint64
+
+	// Replica identity (group, member slot), set by the deployment when
+	// the array is replicated; informational plus peer-program gate.
+	group, member uint32
+	isReplica     bool
+
+	// serviceTime paces the node: each request holds paceMu for this
+	// long before being served, modelling a disk-arm/NIC capacity of
+	// 1/serviceTime per node so scaling benchmarks measure fan-out, not
+	// the simulator's infinite parallelism. Zero (the default) disables.
+	serviceTime time.Duration
+	paceMu      sync.Mutex
 }
 
 // NewNode starts a storage node on port, serving store.
@@ -87,6 +101,42 @@ func (n *Node) authorize(fh fhandle.Handle) bool {
 	return false
 }
 
+// SetReplica records the node's replica identity: group g, member slot
+// m within it (0 = primary). The peer resync program only serves on
+// nodes that know they are replicas.
+func (n *Node) SetReplica(g, m uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group, n.member, n.isReplica = g, m, true
+}
+
+// Replica returns the node's replica identity (group, member, set).
+func (n *Node) Replica() (uint32, uint32, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.group, n.member, n.isReplica
+}
+
+// SetServiceTime paces the node at one request per d (0 disables).
+func (n *Node) SetServiceTime(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.serviceTime = d
+}
+
+// pace serializes admission when a service time is configured.
+func (n *Node) pace() {
+	n.mu.Lock()
+	d := n.serviceTime
+	n.mu.Unlock()
+	if d <= 0 {
+		return
+	}
+	n.paceMu.Lock()
+	time.Sleep(d)
+	n.paceMu.Unlock()
+}
+
 // Store returns the node's object store (used by tests and by managers
 // whose backing objects live on this node).
 func (n *Node) Store() *ObjectStore { return n.store }
@@ -110,9 +160,12 @@ func (n *Node) Close() { n.srv.Close() }
 func (n *Node) serve(call oncrpc.Call, from netsim.Addr) (func(*xdr.Encoder), uint32) {
 	switch call.Program {
 	case nfsproto.Program:
+		n.pace()
 		return n.serveNFS(call)
 	case ObjProgram:
 		return n.serveObj(call)
+	case replica.PeerProgram:
+		return n.servePeer(call)
 	default:
 		return nil, oncrpc.AcceptProgUnavail
 	}
@@ -280,6 +333,91 @@ func (n *Node) serveObj(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
 			res.Status = nfsproto.ErrNoEnt
 		}
 		return res.Encode, oncrpc.AcceptSuccess
+
+	default:
+		return nil, oncrpc.AcceptProcUnavail
+	}
+}
+
+// -------------------------------------------------- replica peer program
+
+// peerAuthorized checks the peer-program bearer token. The token is
+// derived from the capability key, which never leaves the trust
+// boundary, so only the service's own elements can enumerate or bulk-
+// read raw objects.
+func (n *Node) peerAuthorized(token uint64) bool {
+	n.mu.Lock()
+	key := n.capKey
+	n.mu.Unlock()
+	if len(key) == 0 || token == replica.PeerToken(key) {
+		return true
+	}
+	n.mu.Lock()
+	n.denied++
+	n.mu.Unlock()
+	return false
+}
+
+// servePeer answers the replica resync program (replica.PeerProgram): a
+// restarting group sibling lists this node's objects and reads their
+// bytes back in bulk.
+func (n *Node) servePeer(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
+	d := xdr.NewDecoder(call.Body)
+	token, err := d.Uint64()
+	if err != nil {
+		return nil, oncrpc.AcceptGarbageArgs
+	}
+	if !n.peerAuthorized(token) {
+		return func(e *xdr.Encoder) { e.PutUint32(replica.PeerDenied) }, oncrpc.AcceptSuccess
+	}
+	switch call.Proc {
+	case replica.PeerProcList:
+		after, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		max, err := d.Uint32()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		if max > replica.PeerListMax {
+			max = replica.PeerListMax
+		}
+		ents := n.store.ListAfter(ObjectID(after), int(max))
+		return func(e *xdr.Encoder) {
+			e.PutUint32(replica.PeerOK)
+			e.PutUint32(uint32(len(ents)))
+			for _, ent := range ents {
+				e.PutUint64(uint64(ent.ID))
+				e.PutUint64(uint64(ent.Size))
+			}
+		}, oncrpc.AcceptSuccess
+
+	case replica.PeerProcRead:
+		id, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		off, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		count, err := d.Uint32()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		if count > replica.PeerChunk {
+			count = replica.PeerChunk
+		}
+		buf := make([]byte, count)
+		cnt, _, rerr := n.store.ReadAt(ObjectID(id), int64(off), buf)
+		if rerr != nil {
+			return func(e *xdr.Encoder) { e.PutUint32(replica.PeerNoObj) }, oncrpc.AcceptSuccess
+		}
+		return func(e *xdr.Encoder) {
+			e.PutUint32(replica.PeerOK)
+			e.PutOpaque(buf[:cnt])
+		}, oncrpc.AcceptSuccess
 
 	default:
 		return nil, oncrpc.AcceptProcUnavail

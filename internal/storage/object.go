@@ -15,6 +15,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -256,6 +257,33 @@ func (s *ObjectStore) Truncate(id ObjectID, size int64) error {
 	}
 	o.size = size
 	return nil
+}
+
+// ObjEntry is one object's directory entry: identifier and logical size.
+type ObjEntry struct {
+	ID   ObjectID
+	Size int64
+}
+
+// ListAfter returns up to max objects with ID strictly greater than
+// after, in ascending ID order — the pagination primitive of the
+// replica peer program. A fresh page is consistent at the instant it
+// was taken; callers tolerate objects appearing or vanishing between
+// pages (resync re-covers them via fanned-out writes).
+func (s *ObjectStore) ListAfter(after ObjectID, max int) []ObjEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents := make([]ObjEntry, 0, len(s.objects))
+	for id, o := range s.objects {
+		if id > after {
+			ents = append(ents, ObjEntry{ID: id, Size: o.size})
+		}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].ID < ents[j].ID })
+	if max > 0 && len(ents) > max {
+		ents = ents[:max]
+	}
+	return ents
 }
 
 // Size returns the logical size of object id and whether it exists.

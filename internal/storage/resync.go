@@ -1,0 +1,27 @@
+package storage
+
+import (
+	"slice/internal/oncrpc"
+	"slice/internal/replica"
+)
+
+// resyncTarget adapts an ObjectStore to replica.ResyncTarget. Resync
+// writes are stable: the transferred bytes were acknowledged (or
+// committed) on the surviving peer, so the reborn replica must not lose
+// them to a later Crash of volatile state.
+type resyncTarget struct{ s *ObjectStore }
+
+func (t resyncTarget) Truncate(id, size uint64) error {
+	return t.s.Truncate(ObjectID(id), int64(size))
+}
+
+func (t resyncTarget) WriteAt(id, off uint64, p []byte) error {
+	return t.s.WriteAt(ObjectID(id), int64(off), p, true)
+}
+
+// ResyncFrom rebuilds dst from the peer node served behind c (a client
+// bound to a group sibling), using the windowed replica resync
+// protocol. token is replica.PeerToken of the array's capability key.
+func ResyncFrom(c *oncrpc.Client, token uint64, window int, dst *ObjectStore) (replica.ResyncStats, error) {
+	return replica.Resync(c, token, window, resyncTarget{dst})
+}

@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"slice/internal/netsim"
+	"slice/internal/oncrpc"
+	"slice/internal/replica"
+)
+
+func TestListAfterPaginates(t *testing.T) {
+	s := NewObjectStore()
+	for id := ObjectID(1); id <= 7; id++ {
+		if err := s.WriteAt(id, 0, []byte{byte(id)}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []ObjEntry
+	after := ObjectID(0)
+	for {
+		page := s.ListAfter(after, 3)
+		if len(page) == 0 {
+			break
+		}
+		got = append(got, page...)
+		after = page[len(page)-1].ID
+	}
+	if len(got) != 7 {
+		t.Fatalf("paged %d entries, want 7", len(got))
+	}
+	for i, e := range got {
+		if e.ID != ObjectID(i+1) || e.Size != 1 {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+}
+
+func TestResyncRebuildsStore(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	sp, err := net.Bind(netsim.Addr{Host: 2, Port: 2049})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerStore := NewObjectStore()
+	// A multi-chunk object, a sparse object, and a zero-length object.
+	big := bytes.Repeat([]byte("replicate-me!"), 10*1024) // ~130KB, > 4 chunks
+	if err := peerStore.WriteAt(10, 0, big, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := peerStore.WriteAt(11, 5*BlockSize, []byte("tail"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := peerStore.Truncate(12, 0); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("array-cap-key")
+	peer := NewNode(sp, peerStore)
+	peer.RequireCapability(key)
+	defer peer.Close()
+
+	cp, _ := net.Bind(netsim.Addr{Host: 1, Port: 100})
+	cli := oncrpc.NewClient(cp, peer.Addr(), oncrpc.ClientConfig{Timeout: 100 * time.Millisecond})
+	defer cli.Close()
+
+	// The wrong token is refused before anything is listed.
+	if _, err := ResyncFrom(cli, 12345, 4, NewObjectStore()); err == nil {
+		t.Fatal("resync with a forged token succeeded")
+	}
+
+	dst := NewObjectStore()
+	st, err := ResyncFrom(cli, replica.PeerToken(key), 4, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 3 {
+		t.Fatalf("resynced %d objects, want 3", st.Objects)
+	}
+	if st.Bytes < int64(len(big)) {
+		t.Fatalf("resynced %d bytes, want >= %d", st.Bytes, len(big))
+	}
+	if dst.NumObjects() != 3 {
+		t.Fatalf("dst has %d objects, want 3", dst.NumObjects())
+	}
+	for _, id := range []ObjectID{10, 11, 12} {
+		want, _ := peerStore.Size(id)
+		got, ok := dst.Size(id)
+		if !ok || got != want {
+			t.Fatalf("object %d size %d, want %d", id, got, want)
+		}
+		if want == 0 {
+			continue
+		}
+		wb := make([]byte, want)
+		gb := make([]byte, want)
+		if _, _, err := peerStore.ReadAt(id, 0, wb); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := dst.ReadAt(id, 0, gb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, gb) {
+			t.Fatalf("object %d bytes differ after resync", id)
+		}
+	}
+	// Resynced data is durable: a crash on the reborn node must not
+	// shed it (it was acknowledged state on the survivor).
+	dst.Crash()
+	if got, _ := dst.Size(10); got != int64(len(big)) {
+		t.Fatalf("crash shed resynced data: size %d, want %d", got, len(big))
+	}
+}
+
+func TestReplicaIdentity(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	sp, _ := net.Bind(netsim.Addr{Host: 2, Port: 2049})
+	n := NewNode(sp, NewObjectStore())
+	defer n.Close()
+	if _, _, ok := n.Replica(); ok {
+		t.Fatal("fresh node claims a replica identity")
+	}
+	n.SetReplica(2, 1)
+	g, m, ok := n.Replica()
+	if !ok || g != 2 || m != 1 {
+		t.Fatalf("Replica() = %d,%d,%v", g, m, ok)
+	}
+}

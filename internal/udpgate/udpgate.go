@@ -10,6 +10,7 @@
 package udpgate
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -141,6 +142,14 @@ func (g *Gateway) pumpOut(p *peer) {
 // Conn is a client-side oncrpc.Conn over UDP.
 type Conn struct {
 	conn *net.UDPConn
+
+	// peer is the fabric address the caller last sent to. The dialed UDP
+	// socket only delivers datagrams from the gateway (the kernel's
+	// connected-socket filter is the real peer check), so received
+	// replies are stamped with this address — the fabric-level reflection
+	// the RPC client's peer-address check expects.
+	mu   sync.Mutex
+	peer netsim.Addr
 }
 
 // Dial connects to a gateway's UDP address.
@@ -160,6 +169,9 @@ func Dial(server string) (*Conn, error) {
 // implied by the dialed gateway (it always targets the virtual server),
 // so dst is ignored.
 func (c *Conn) SendTo(dst netsim.Addr, payload []byte) error {
+	c.mu.Lock()
+	c.peer = dst
+	c.mu.Unlock()
 	_, err := c.conn.Write(payload)
 	return err
 }
@@ -181,6 +193,11 @@ func (c *Conn) Recv(timeout time.Duration) ([]byte, error) {
 		return nil, err
 	}
 	out := make([]byte, netsim.HeaderSize+n)
+	c.mu.Lock()
+	src := c.peer
+	c.mu.Unlock()
+	binary.BigEndian.PutUint32(out[netsim.OffSrcHost:], src.Host)
+	binary.BigEndian.PutUint16(out[netsim.OffSrcPort:], src.Port)
 	copy(out[netsim.HeaderSize:], buf[:n])
 	return out, nil
 }
