@@ -39,6 +39,7 @@ BENCH_TIME ?= 20000x
 BENCH_BULK_TIME ?= 3x
 BENCH_FLEET_TIME ?= 5000x
 BENCH_REPLICA_TIME ?= 2000x
+BENCH_WIRE_TIME ?= 3x
 BENCH_TOLERANCE ?= 2.5
 bench-gate:
 	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem \
@@ -56,6 +57,10 @@ bench-gate:
 	    -benchtime $(BENCH_REPLICA_TIME) -count $(BENCH_COUNT) -cpu 4 . > bench_replica.out \
 	    || { cat bench_replica.out; exit 1; }
 	$(GO) run ./cmd/benchgate -baseline BENCH_replica.json -input bench_replica.out -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run xxx -bench 'BenchmarkWire(Read|Write)' -benchmem \
+	    -benchtime $(BENCH_WIRE_TIME) -count $(BENCH_COUNT) -cpu 4 . > bench_wire.out \
+	    || { cat bench_wire.out; exit 1; }
+	$(GO) run ./cmd/benchgate -baseline BENCH_wire.json -input bench_wire.out -tolerance $(BENCH_TOLERANCE)
 
 # Static analysis beyond vet. The tools are not vendored: CI installs
 # them; offline checkouts skip with a note rather than failing.
@@ -94,4 +99,5 @@ fuzz:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzScan -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oncrpc/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/nfsproto/ -run '^$$' -fuzz FuzzParseCall -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/nfsproto/ -run '^$$' -fuzz FuzzParseMountPortmap -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/netsim/ -run '^$$' -fuzz FuzzParseDatagram -fuzztime $(FUZZTIME)

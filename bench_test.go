@@ -23,6 +23,7 @@ import (
 	"slice/internal/proxy"
 	"slice/internal/route"
 	"slice/internal/sim"
+	"slice/internal/wire"
 	"slice/internal/workload"
 	"slice/internal/xdr"
 )
@@ -869,4 +870,106 @@ func BenchmarkReplicaRead(b *testing.B) {
 	for _, k := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) { benchReplicaRead(b, k) })
 	}
+}
+
+// --------------------------------------------------- real-wire serving
+//
+// BenchmarkWireRead/BenchmarkWireWrite measure the full TCP serving
+// path: a client on a real loopback socket, record-marked ONC-RPC
+// through the wire gateway, the interposed µproxy, and a 4-node striped
+// array. At a 128 KiB stripe unit every bulk chunk rides a single
+// record bigger than the old 96 KiB datagram cap — the property
+// BENCH_wire.json gates alongside throughput.
+
+const (
+	wireStripe    = 128 << 10
+	wireFileBytes = 2 << 20
+)
+
+// newWireBench builds an all-striped TCP-served ensemble and a client
+// dialed through its gateway.
+func newWireBench(b *testing.B) (*ensemble.Ensemble, *client.Client) {
+	b.Helper()
+	e, err := ensemble.New(ensemble.Config{
+		StorageNodes: 4, DirServers: 1, SmallFileServers: 0,
+		Coordinator: true, StripeUnit: wireStripe,
+		TCPListen: "127.0.0.1:0",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	conn, err := wire.Dial(e.Gateways[0].Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := client.NewWithConn(conn, client.Config{Server: e.Virtual, StripeUnit: wireStripe})
+	b.Cleanup(c.Close)
+	if err := c.Mount(); err != nil {
+		b.Fatal(err)
+	}
+	return e, c
+}
+
+// assertWireRecords fails the benchmark if no record crossed the old
+// datagram cap: the stream path must not be silently datagram-bound.
+func assertWireRecords(b *testing.B, e *ensemble.Ensemble) {
+	b.Helper()
+	const oldCap = 96 * 1024
+	st := e.Gateways[0].Stats()
+	if st.MaxRxRecord <= oldCap && st.MaxTxRecord <= oldCap {
+		b.Fatalf("no record exceeded %d bytes (rx max %d, tx max %d)",
+			oldCap, st.MaxRxRecord, st.MaxTxRecord)
+	}
+}
+
+func BenchmarkWireRead(b *testing.B) {
+	e, c := newWireBench(b)
+	data := make([]byte, wireFileBytes)
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	fh, _, err := c.Create(c.Root(), "wire-read", 0o644, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.WriteFile(fh, data); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, wireStripe)
+	b.SetBytes(wireFileBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < wireFileBytes; off += wireStripe {
+			n, _, err := c.Read(fh, uint64(off), buf)
+			if err != nil || n != wireStripe {
+				b.Fatalf("read at %d: n=%d, %v", off, n, err)
+			}
+		}
+	}
+	b.StopTimer()
+	assertWireRecords(b, e)
+}
+
+func BenchmarkWireWrite(b *testing.B) {
+	e, c := newWireBench(b)
+	data := make([]byte, wireFileBytes)
+	for i := range data {
+		data[i] = byte(i * 41)
+	}
+	fh, _, err := c.Create(c.Root(), "wire-write", 0o644, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(wireFileBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteFile(fh, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	assertWireRecords(b, e)
 }

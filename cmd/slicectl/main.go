@@ -39,12 +39,14 @@ import (
 	"slice/internal/oncrpc"
 	"slice/internal/route"
 	"slice/internal/udpgate"
+	"slice/internal/wire"
 	"slice/internal/workload"
 	"slice/internal/xdr"
 )
 
 func main() {
-	connect := flag.String("connect", "", "UDP address of a running sliced (empty: in-process ensemble)")
+	connect := flag.String("connect", "", "address of a running sliced (empty: in-process ensemble)")
+	tcp := flag.Bool("tcp", false, "dial -connect over record-marked TCP (a sliced -tcp gateway) instead of UDP")
 	proxies := flag.Int("proxies", 1, "µproxy fleet size for the in-process ensemble")
 	replication := flag.Int("replication", 1, "k-way storage replication for the in-process ensemble")
 	flag.Parse()
@@ -61,7 +63,13 @@ func main() {
 	var c *client.Client
 	var rc *oncrpc.Client
 	if *connect != "" {
-		conn, err := udpgate.Dial(*connect)
+		var conn oncrpc.Conn
+		var err error
+		if *tcp {
+			conn, err = wire.Dial(*connect)
+		} else {
+			conn, err = udpgate.Dial(*connect)
+		}
 		if err != nil {
 			log.Fatalf("slicectl: dial: %v", err)
 		}

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"slice/internal/ensemble"
+	"slice/internal/nfsproto"
+	"slice/internal/obs"
 	"slice/internal/route"
 	"slice/internal/udpgate"
 )
@@ -31,6 +33,8 @@ func main() {
 		maps    = flag.Bool("blockmaps", false, "route bulk I/O through coordinator block maps")
 		capkey  = flag.String("capkey", "", "storage capability key (enables the secure-object model)")
 		listen  = flag.String("listen", "127.0.0.1:20490", "UDP listen address")
+		tcp     = flag.String("tcp", "", "TCP listen address for record-marked ONC-RPC (empty = UDP only)")
+		portmap = flag.String("portmap", "", "portmapper TCP listen address (requires -tcp; use :111 for real mount clients)")
 		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	)
 	flag.Parse()
@@ -50,6 +54,8 @@ func main() {
 		UseBlockMaps:      *maps,
 		WritebackInterval: 2 * time.Second,
 		CapabilityKey:     []byte(*capkey),
+		TCPListen:         *tcp,
+		PortmapListen:     *portmap,
 	})
 	if err != nil {
 		log.Fatalf("sliced: ensemble: %v", err)
@@ -61,6 +67,11 @@ func main() {
 		log.Fatalf("sliced: gateway: %v", err)
 	}
 	defer gw.Close()
+	// Surface the UDP gateway's drop counters (no-peer, inject, write)
+	// alongside every other component in `slicectl stats`.
+	udpObs := obs.NewRegistry("udpgate")
+	gw.SetObs(udpObs)
+	e.Obs.AddRegistry(udpObs)
 
 	fmt.Printf("sliced: serving volume %v\n", e.Root)
 	fmt.Printf("  storage nodes      : %d\n", len(e.Storage))
@@ -68,7 +79,17 @@ func main() {
 	fmt.Printf("  small-file servers : %d\n", len(e.Small))
 	fmt.Printf("  virtual server     : %v (fabric)\n", e.Virtual)
 	fmt.Printf("  UDP endpoint       : %v\n", gw.Addr())
+	if len(e.Gateways) > 0 {
+		fmt.Printf("  TCP endpoint       : %v (record-marked ONC-RPC)\n", e.Gateways[0].Addr())
+	}
+	if e.Portmap != nil {
+		fmt.Printf("  portmapper         : %v (program %d v%d)\n", e.Portmap.Addr(),
+			nfsproto.PortmapProgram, nfsproto.PortmapVersion)
+	}
 	fmt.Printf("connect with: slicectl -connect %v <command>\n", gw.Addr())
+	if len(e.Gateways) > 0 {
+		fmt.Printf("          or: slicectl -tcp -connect %v <command>\n", e.Gateways[0].Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -82,15 +103,15 @@ func main() {
 		select {
 		case <-sig:
 			fmt.Println("\nsliced: shutting down")
-			printStats(e)
+			printStats(e, gw)
 			return
 		case <-tick:
-			printStats(e)
+			printStats(e, gw)
 		}
 	}
 }
 
-func printStats(e *ensemble.Ensemble) {
+func printStats(e *ensemble.Ensemble, gw *udpgate.Gateway) {
 	st := e.Proxy.Stats()
 	fmt.Printf("[stats] µproxy: %d reqs, %d resps, %d absorbed, %d initiated\n",
 		st.Requests, st.Responses, st.Absorbed, st.Initiated)
@@ -108,6 +129,15 @@ func printStats(e *ensemble.Ensemble) {
 		st := s.Store().Stats()
 		fmt.Printf("[stats] smallfile[%d]: %d reads, %d writes, %d files\n",
 			i, st.Reads, st.Writes, s.Store().NumFiles())
+	}
+	us := gw.Stats()
+	fmt.Printf("[stats] udpgate: %d peers (%d evicted), drops: %d no-peer, %d inject, %d write\n",
+		us.Peers, us.PeersEvicted, us.DropNoPeer, us.DropInject, us.DropWrite)
+	for i, g := range e.Gateways {
+		ws := g.Stats()
+		fmt.Printf("[stats] wire[%d]: %d conns (%d total), rx %d recs / %d B (max %d), tx %d recs / %d B (max %d), %d drops\n",
+			i, ws.Conns, ws.TotalConns, ws.RxRecords, ws.RxBytes, ws.MaxRxRecord,
+			ws.TxRecords, ws.TxBytes, ws.MaxTxRecord, ws.Drops)
 	}
 	// Latency exposition: every component's op-class histograms plus the
 	// µproxy's stage/hop/e2e breakdowns, in the text format `slicectl

@@ -29,6 +29,7 @@ import (
 
 	"slice/internal/ensemble"
 	"slice/internal/netsim"
+	"slice/internal/obs"
 	"slice/internal/proxy"
 	"slice/internal/route"
 	"slice/internal/udpgate"
@@ -37,6 +38,8 @@ import (
 func main() {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:20490", "UDP endpoint of fleet member 0; member i listens at port+i")
+		tcp       = flag.String("tcp", "", "TCP endpoint of fleet member 0 (record-marked ONC-RPC); member i listens at port+i")
+		portmap   = flag.String("portmap", "", "portmapper TCP listen address (requires -tcp)")
 		proxies   = flag.Int("proxies", 2, "µproxy fleet size (1..8)")
 		stats     = flag.Duration("stats", 10*time.Second, "stats print interval")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
@@ -71,6 +74,8 @@ func main() {
 		NameKind:          route.MkdirSwitching,
 		MkdirP:            0.25,
 		WritebackInterval: 2 * time.Second,
+		TCPListen:         *tcp,
+		PortmapListen:     *portmap,
 	})
 	if err != nil {
 		log.Fatalf("uproxyd: ensemble: %v", err)
@@ -96,7 +101,21 @@ func main() {
 			log.Fatalf("uproxyd: gateway %d: %v", i, err)
 		}
 		defer gw.Close()
+		// Per-member drop counters under their own stats label.
+		name := "udpgate"
+		if i > 0 {
+			name = fmt.Sprintf("udpgate[%d]", i)
+		}
+		reg := obs.NewRegistry(name)
+		gw.SetObs(reg)
+		e.Obs.AddRegistry(reg)
 		fmt.Printf("  µproxy #%d: %v (fabric %v)\n", i, gw.Addr(), p.Virtual())
+	}
+	for i, g := range e.Gateways {
+		fmt.Printf("  µproxy #%d TCP: %v (record-marked ONC-RPC)\n", i, g.Addr())
+	}
+	if e.Portmap != nil {
+		fmt.Printf("  portmapper: %v -> member 0\n", e.Portmap.Addr())
 	}
 	fmt.Printf("mount any endpoint with: slicectl -connect <addr> ls /\n")
 
@@ -128,8 +147,8 @@ func main() {
 func dump(name string, p *proxy.Proxy) {
 	st := p.Stats()
 	pkts := st.Requests + st.Responses
-	fmt.Printf("[%s] %d pkts (%d req / %d resp / %d absorbed)", name, pkts,
-		st.Requests, st.Responses, st.Absorbed)
+	fmt.Printf("[%s] %d pkts (%d req / %d resp / %d absorbed / %d dropped)", name, pkts,
+		st.Requests, st.Responses, st.Absorbed, st.Dropped)
 	if pkts > 0 {
 		fmt.Printf("; ns/pkt: intercept %.0f decode %.0f rewrite %.0f softstate %.0f",
 			float64(st.InterceptNS)/float64(pkts),

@@ -15,12 +15,17 @@ import (
 )
 
 // MountProgram is the RPC program returning the root file handle of a
-// volume, the analogue of the NFS MOUNT protocol.
+// volume — the NFS MOUNT protocol. Constants are aliased from nfsproto,
+// where the message definitions live.
 const (
-	MountProgram = 100005
-	MountVersion = 3
-	MountProcMnt = 1
+	MountProgram = nfsproto.MountProgram
+	MountVersion = nfsproto.MountVersion
+	MountProcMnt = nfsproto.MountProcMnt
 )
+
+// ExportPath is the single dirpath this volume exports. MNT accepts it,
+// "/", or an empty/absent argument (the in-fabric client sends none).
+const ExportPath = "/export/slice"
 
 // Config configures a directory server.
 type Config struct {
@@ -231,20 +236,54 @@ func (s *Server) serve(call oncrpc.Call, from netsim.Addr) (func(*xdr.Encoder), 
 }
 
 func (s *Server) serveMount(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
-	if call.Proc != MountProcMnt {
+	switch call.Proc {
+	case nfsproto.MountProcNull:
+		return func(*xdr.Encoder) {}, oncrpc.AcceptSuccess
+
+	case nfsproto.MountProcMnt:
+		// The dirpath argument is optional for back-compatibility: the
+		// in-fabric client has always sent a bare MNT. When present it
+		// must name the export (or "/").
+		if len(call.Body) > 0 {
+			var args nfsproto.MountPathArgs
+			if err := args.Decode(xdr.NewDecoder(call.Body)); err != nil {
+				return nil, oncrpc.AcceptGarbageArgs
+			}
+			if args.Path != "" && args.Path != "/" && args.Path != ExportPath {
+				res := nfsproto.MountMntRes{Status: nfsproto.ErrNoEnt}
+				return res.Encode, oncrpc.AcceptSuccess
+			}
+		}
+		s.mu.Lock()
+		fh := s.rootFH
+		s.mu.Unlock()
+		res := nfsproto.MountMntRes{Status: nfsproto.OK, FH: fh}
+		if fh.IsZero() {
+			res = nfsproto.MountMntRes{Status: nfsproto.ErrNoEnt}
+		}
+		return res.Encode, oncrpc.AcceptSuccess
+
+	case nfsproto.MountProcUmnt:
+		// Stateless server: nothing to tear down, but the argument must
+		// still be well formed.
+		if len(call.Body) > 0 {
+			var args nfsproto.MountPathArgs
+			if err := args.Decode(xdr.NewDecoder(call.Body)); err != nil {
+				return nil, oncrpc.AcceptGarbageArgs
+			}
+		}
+		return func(*xdr.Encoder) {}, oncrpc.AcceptSuccess
+
+	case nfsproto.MountProcUmntAll:
+		return func(*xdr.Encoder) {}, oncrpc.AcceptSuccess
+
+	case nfsproto.MountProcExport:
+		res := nfsproto.ExportRes{Entries: []nfsproto.ExportEntry{{Dir: ExportPath}}}
+		return res.Encode, oncrpc.AcceptSuccess
+
+	default:
 		return nil, oncrpc.AcceptProcUnavail
 	}
-	s.mu.Lock()
-	fh := s.rootFH
-	s.mu.Unlock()
-	return func(e *xdr.Encoder) {
-		if fh.IsZero() {
-			e.PutUint32(uint32(nfsproto.ErrNoEnt))
-			return
-		}
-		e.PutUint32(uint32(nfsproto.OK))
-		fh.Encode(e)
-	}, oncrpc.AcceptSuccess
 }
 
 func (s *Server) serveNFS(call oncrpc.Call) (func(*xdr.Encoder), uint32) {

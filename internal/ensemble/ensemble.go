@@ -6,6 +6,8 @@ package ensemble
 
 import (
 	"fmt"
+	"net"
+	"strconv"
 	"time"
 
 	"slice/internal/attr"
@@ -15,6 +17,7 @@ import (
 	"slice/internal/fhandle"
 	"slice/internal/front"
 	"slice/internal/netsim"
+	"slice/internal/nfsproto"
 	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/proxy"
@@ -23,6 +26,7 @@ import (
 	"slice/internal/smallfile"
 	"slice/internal/storage"
 	"slice/internal/wal"
+	"slice/internal/wire"
 )
 
 // Host numbering plan for the fabric.
@@ -50,6 +54,10 @@ func proxyVirtual(i int) netsim.Addr {
 
 // proxyHost returns the host µproxy i binds its own client ports on.
 func proxyHost(i int) uint32 { return HostProxy - uint32(i) }
+
+// VirtualOf returns the virtual server address fleet member i presents —
+// the fabric destination behind Gateways[i].
+func (e *Ensemble) VirtualOf(i int) netsim.Addr { return proxyVirtual(i) }
 
 // Config sizes and parameterizes an ensemble.
 type Config struct {
@@ -113,6 +121,15 @@ type Config struct {
 	// coordinator stamp into storage-bound handles. Clients bypassing
 	// the µproxy are refused by the storage nodes.
 	CapabilityKey []byte
+	// TCPListen, when non-empty, exposes the ensemble on real TCP
+	// sockets: one record-marked wire gateway per fleet member, member i
+	// fronting proxy i's virtual address. "127.0.0.1:0" picks ephemeral
+	// ports; a fixed port p assigns member i port p+i.
+	TCPListen string
+	// PortmapListen, when non-empty, starts an embedded portmapper
+	// (program 100000 v2) that registers the NFS and MOUNT programs at
+	// gateway 0's TCP port. Requires TCPListen.
+	PortmapListen string
 }
 
 // Ensemble is a running Slice deployment.
@@ -146,6 +163,12 @@ type Ensemble struct {
 	// consistent-hash ring over it that clients resolve flows through.
 	Fleet *route.Fleet
 	Front *front.Ring
+
+	// Gateways are the per-member TCP wire gateways (empty without
+	// Config.TCPListen); Portmap is the embedded portmapper (nil without
+	// Config.PortmapListen).
+	Gateways []*wire.Gateway
+	Portmap  *wire.Portmap
 
 	// Obs aggregates every component's histograms; Tracer archives the
 	// µproxy's per-request spans. Both are always on — recording is one
@@ -367,7 +390,67 @@ func New(cfg Config) (*Ensemble, error) {
 		e.Proxies = append(e.Proxies, e.newProxy(i, reg, tracer))
 	}
 	e.Proxy = e.Proxies[0]
+
+	// Real-wire serving: TCP gateways (one per fleet member) and the
+	// embedded portmapper pointing real clients at gateway 0.
+	if cfg.TCPListen != "" {
+		for i := 0; i < cfg.Proxies; i++ {
+			listen, err := memberListen(cfg.TCPListen, i)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			gw, err := wire.NewGateway(listen, e.Net, proxyVirtual(i))
+			if err != nil {
+				e.Close()
+				return nil, fmt.Errorf("ensemble: wire gateway %d: %w", i, err)
+			}
+			name := "wire"
+			if i > 0 {
+				name = fmt.Sprintf("wire[%d]", i)
+			}
+			reg := obs.NewRegistry(name)
+			gw.SetObs(reg)
+			e.Obs.AddRegistry(reg)
+			e.Gateways = append(e.Gateways, gw)
+		}
+	}
+	if cfg.PortmapListen != "" {
+		if len(e.Gateways) == 0 {
+			e.Close()
+			return nil, fmt.Errorf("ensemble: PortmapListen requires TCPListen")
+		}
+		pm, err := wire.NewPortmap(cfg.PortmapListen)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("ensemble: portmap: %w", err)
+		}
+		port := e.Gateways[0].Port()
+		pm.Register(nfsproto.Program, nfsproto.Version, nfsproto.IPProtoTCP, port)
+		pm.Register(nfsproto.MountProgram, nfsproto.MountVersion, nfsproto.IPProtoTCP, port)
+		reg := obs.NewRegistry("portmap")
+		pm.SetObs(reg)
+		e.Obs.AddRegistry(reg)
+		e.Portmap = pm
+	}
 	return e, nil
+}
+
+// memberListen derives fleet member i's TCP listen address from the
+// configured one: an explicit port p maps to p+i, port 0 stays 0.
+func memberListen(listen string, i int) (string, error) {
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		return "", fmt.Errorf("ensemble: bad TCPListen %q: %w", listen, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("ensemble: bad TCPListen port %q: %w", portStr, err)
+	}
+	if port != 0 {
+		port += i
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port)), nil
 }
 
 // NewFleet builds an ensemble fronted by n µproxies, with every other
@@ -493,6 +576,12 @@ func (e *Ensemble) newClient(window int) (*client.Client, error) {
 
 // Close stops every component.
 func (e *Ensemble) Close() {
+	if e.Portmap != nil {
+		e.Portmap.Close()
+	}
+	for _, g := range e.Gateways {
+		g.Close()
+	}
 	for _, p := range e.Proxies {
 		if p != nil {
 			p.Close()

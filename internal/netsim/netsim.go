@@ -1,8 +1,9 @@
 // Package netsim provides the in-memory datagram network that stands in
 // for the switched Gigabit Ethernet LAN of the paper's testbed.
 //
-// Every datagram carries a 16-byte pseudo IP/UDP header (source and
-// destination host and port, length, and a 16-bit Internet checksum), so an
+// Every datagram carries a 20-byte pseudo IP/UDP header (source and
+// destination host and port, a 32-bit length, and a 16-bit Internet
+// checksum), so an
 // interposed element such as the Slice µproxy can do exactly what the
 // FreeBSD packet-filter prototype did: decode layer-3/4 fields from raw
 // bytes, rewrite addresses and ports, and fix the checksum incrementally.
@@ -42,29 +43,36 @@ func (a Addr) String() string {
 // IsZero reports whether a is the zero address.
 func (a Addr) IsZero() bool { return a == Addr{} }
 
-// HeaderSize is the fixed size of the pseudo IP/UDP header.
-const HeaderSize = 16
+// HeaderSize is the fixed size of the pseudo IP/UDP header. The length
+// field is 32 bits wide: a 16-bit field (as in real UDP) silently wraps
+// for jumbo datagrams above 64 KiB, which made every such datagram fail
+// Parse even though MaxDatagram nominally allowed them.
+const HeaderSize = 20
 
 // MaxDatagram bounds a single datagram, mimicking a jumbo-frame MTU
-// comfortably above the largest NFS transfer plus headers.
-const MaxDatagram = 96 * 1024
+// comfortably above the largest NFS transfer plus headers. It is sized so
+// a record-marked TCP transfer relayed through the wire gateway can carry
+// stripe-unit-sized READ/WRITE bodies well past the 64 KiB UDP limit.
+const MaxDatagram = 256 * 1024
 
 // Header is the decoded pseudo IP/UDP header of a datagram.
 type Header struct {
 	Src      Addr
 	Dst      Addr
-	Length   uint16 // total datagram length including header
+	Length   uint32 // total datagram length including header
 	Checksum uint16 // Internet checksum over the datagram with this field zero
 }
 
 // Offsets of header fields within a datagram, exported for rewriters.
+// The two bytes after the checksum are reserved and always zero.
 const (
 	OffSrcHost  = 0
 	OffDstHost  = 4
 	OffSrcPort  = 8
 	OffDstPort  = 10
 	OffLength   = 12
-	OffChecksum = 14
+	OffChecksum = 16
+	offReserved = 18
 )
 
 // Build assembles a datagram from src to dst carrying payload, computing
@@ -80,11 +88,12 @@ func Build(src, dst Addr, payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(d[OffDstHost:], dst.Host)
 	binary.BigEndian.PutUint16(d[OffSrcPort:], src.Port)
 	binary.BigEndian.PutUint16(d[OffDstPort:], dst.Port)
-	binary.BigEndian.PutUint16(d[OffLength:], uint16(total))
+	binary.BigEndian.PutUint32(d[OffLength:], uint32(total))
 	copy(d[HeaderSize:], payload)
-	// Zero the checksum field before summing: the pooled buffer may hold
-	// the stale checksum of its previous datagram at this offset.
+	// Zero the checksum and reserved fields before summing: the pooled
+	// buffer may hold stale bytes of its previous datagram at these offsets.
 	binary.BigEndian.PutUint16(d[OffChecksum:], 0)
+	binary.BigEndian.PutUint16(d[offReserved:], 0)
 	binary.BigEndian.PutUint16(d[OffChecksum:], checksum.Sum(d))
 	return d, nil
 }
@@ -107,7 +116,7 @@ func Parse(d []byte) (Header, error) {
 			Host: binary.BigEndian.Uint32(d[OffDstHost:]),
 			Port: binary.BigEndian.Uint16(d[OffDstPort:]),
 		},
-		Length:   binary.BigEndian.Uint16(d[OffLength:]),
+		Length:   binary.BigEndian.Uint32(d[OffLength:]),
 		Checksum: binary.BigEndian.Uint16(d[OffChecksum:]),
 	}
 	if int(h.Length) != len(d) {
@@ -422,6 +431,18 @@ func (p *Port) Recv(timeout time.Duration) ([]byte, error) {
 		return nil, ErrTimeout
 	case <-p.closed:
 		return nil, ErrClosed
+	}
+}
+
+// TryRecv returns a queued datagram without blocking; ok is false when the
+// queue is empty. The wire gateway uses it to coalesce every datagram
+// already queued for a connection into one TCP write burst.
+func (p *Port) TryRecv() (d []byte, ok bool) {
+	select {
+	case d := <-p.ch:
+		return d, true
+	default:
+		return nil, false
 	}
 }
 

@@ -44,6 +44,49 @@ func TestBuildRejectsOversize(t *testing.T) {
 	}
 }
 
+// TestJumboDatagramRoundTrip pins the fix for the length-field wrap bug: the
+// header's length used to be 16 bits wide, so any datagram above 64 KiB —
+// nominally allowed by MaxDatagram — wrapped its length and failed Parse.
+func TestJumboDatagramRoundTrip(t *testing.T) {
+	for _, size := range []int{64*1024 - HeaderSize, 64 * 1024, 96 * 1024, 128 * 1024, MaxDatagram - HeaderSize} {
+		payload := bytes.Repeat([]byte{0xA5}, size)
+		d, err := Build(Addr{Host: 1, Port: 1}, Addr{Host: 2, Port: 2}, payload)
+		if err != nil {
+			t.Fatalf("Build(%d bytes): %v", size, err)
+		}
+		h, err := Parse(d)
+		if err != nil {
+			t.Fatalf("Parse(%d-byte payload): %v", size, err)
+		}
+		if int(h.Length) != HeaderSize+size {
+			t.Fatalf("length %d, want %d", h.Length, HeaderSize+size)
+		}
+		if !bytes.Equal(Payload(d), payload) {
+			t.Fatalf("payload mismatch at size %d", size)
+		}
+		FreeBuf(d)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	n := New(Config{})
+	a, _ := n.Bind(Addr{Host: 1, Port: 1})
+	b, _ := n.Bind(Addr{Host: 2, Port: 2})
+	if _, ok := b.TryRecv(); ok {
+		t.Fatal("TryRecv returned a datagram from an empty queue")
+	}
+	_ = a.SendTo(b.Addr(), []byte("one"))
+	_ = a.SendTo(b.Addr(), []byte("two"))
+	d1, ok1 := b.TryRecv()
+	d2, ok2 := b.TryRecv()
+	if !ok1 || !ok2 || string(Payload(d1)) != "one" || string(Payload(d2)) != "two" {
+		t.Fatalf("TryRecv drained %v/%v", ok1, ok2)
+	}
+	if _, ok := b.TryRecv(); ok {
+		t.Fatal("TryRecv returned a third datagram")
+	}
+}
+
 // TestRewritePreservesChecksum is the property the µproxy's redirection
 // depends on: after an in-place address rewrite with incremental checksum
 // update, the datagram still verifies.

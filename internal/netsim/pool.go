@@ -31,7 +31,7 @@ import (
 
 // bufClasses are the pooled buffer capacities, smallest first. The largest
 // class covers MaxDatagram.
-var bufClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, MaxDatagram}
+var bufClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10, MaxDatagram}
 
 // bufPools holds one sync.Pool per size class. Pools store a *byte to the
 // first element of a full-class-capacity array (a pointer stores directly

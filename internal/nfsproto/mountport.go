@@ -1,0 +1,258 @@
+package nfsproto
+
+// MOUNT v3 and portmapper v2 message definitions.
+//
+// These two side programs are what make the file service reachable from
+// the outside world: a client asks the portmapper (RFC 1833, program
+// 100000) where a program listens, then asks MOUNT (RFC 1813 appendix I,
+// program 100005) for the root file handle. Message layouts follow the
+// RFCs with the same deliberate simplifications as the file protocol:
+// handles are fixed 32-byte tokens, and MNT results carry no auth-flavor
+// list.
+
+import (
+	"errors"
+
+	"slice/internal/fhandle"
+	"slice/internal/xdr"
+)
+
+// ErrBadMessage indicates a structurally invalid MOUNT or portmap
+// message (oversized path, runaway linked list).
+var ErrBadMessage = errors.New("nfsproto: bad mount/portmap message")
+
+// Portmapper program constants (RFC 1833).
+const (
+	PortmapProgram = 100000
+	PortmapVersion = 2
+
+	PortmapProcNull    = 0
+	PortmapProcGetPort = 3
+	PortmapProcDump    = 4
+
+	// Transport protocol numbers used in portmap mappings.
+	IPProtoTCP = 6
+	IPProtoUDP = 17
+)
+
+// MOUNT program constants (RFC 1813 appendix I).
+const (
+	MountProgram = 100005
+	MountVersion = 3
+
+	MountProcNull    = 0
+	MountProcMnt     = 1
+	MountProcDump    = 2
+	MountProcUmnt    = 3
+	MountProcUmntAll = 4
+	MountProcExport  = 5
+
+	// MountPathLen bounds a dirpath argument (MNTPATHLEN).
+	MountPathLen = 1024
+)
+
+// maxListEntries bounds XDR linked-list decoding so a hostile stream
+// cannot drive an unbounded loop.
+const maxListEntries = 4096
+
+// Mapping is one portmap registration; it doubles as the GETPORT
+// argument (Port is ignored there).
+type Mapping struct {
+	Prog uint32
+	Vers uint32
+	Prot uint32 // IPProtoTCP or IPProtoUDP
+	Port uint32
+}
+
+// Encode implements Msg.
+func (m *Mapping) Encode(e *xdr.Encoder) {
+	e.PutUint32(m.Prog)
+	e.PutUint32(m.Vers)
+	e.PutUint32(m.Prot)
+	e.PutUint32(m.Port)
+}
+
+// Decode implements Msg.
+func (m *Mapping) Decode(d *xdr.Decoder) (err error) {
+	if m.Prog, err = d.Uint32(); err != nil {
+		return err
+	}
+	if m.Vers, err = d.Uint32(); err != nil {
+		return err
+	}
+	if m.Prot, err = d.Uint32(); err != nil {
+		return err
+	}
+	m.Port, err = d.Uint32()
+	return err
+}
+
+// GetPortRes is the GETPORT result: the port the queried program listens
+// on, or 0 if it is not registered.
+type GetPortRes struct {
+	Port uint32
+}
+
+// Encode implements Msg.
+func (m *GetPortRes) Encode(e *xdr.Encoder) { e.PutUint32(m.Port) }
+
+// Decode implements Msg.
+func (m *GetPortRes) Decode(d *xdr.Decoder) (err error) {
+	m.Port, err = d.Uint32()
+	return err
+}
+
+// DumpRes is the DUMP result: every current mapping, encoded as the
+// RFC's XDR linked list (bool follows, then the entry).
+type DumpRes struct {
+	Mappings []Mapping
+}
+
+// Encode implements Msg.
+func (m *DumpRes) Encode(e *xdr.Encoder) {
+	for i := range m.Mappings {
+		e.PutBool(true)
+		m.Mappings[i].Encode(e)
+	}
+	e.PutBool(false)
+}
+
+// Decode implements Msg.
+func (m *DumpRes) Decode(d *xdr.Decoder) error {
+	m.Mappings = m.Mappings[:0]
+	for {
+		more, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		if len(m.Mappings) >= maxListEntries {
+			return ErrBadMessage
+		}
+		var e Mapping
+		if err := e.Decode(d); err != nil {
+			return err
+		}
+		m.Mappings = append(m.Mappings, e)
+	}
+}
+
+// MountPathArgs is the dirpath argument of MNT and UMNT.
+type MountPathArgs struct {
+	Path string
+}
+
+// Encode implements Msg.
+func (m *MountPathArgs) Encode(e *xdr.Encoder) { e.PutString(m.Path) }
+
+// Decode implements Msg.
+func (m *MountPathArgs) Decode(d *xdr.Decoder) error {
+	s, err := d.String()
+	if err != nil {
+		return err
+	}
+	if len(s) > MountPathLen {
+		return ErrBadMessage
+	}
+	m.Path = s
+	return nil
+}
+
+// MountMntRes is the MNT result: the volume's root file handle.
+type MountMntRes struct {
+	Status Status
+	FH     fhandle.Handle
+}
+
+// Encode implements Msg.
+func (m *MountMntRes) Encode(e *xdr.Encoder) {
+	e.PutUint32(uint32(m.Status))
+	if m.Status == OK {
+		m.FH.Encode(e)
+	}
+}
+
+// Decode implements Msg.
+func (m *MountMntRes) Decode(d *xdr.Decoder) error {
+	s, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	m.Status = Status(s)
+	if m.Status != OK {
+		return nil
+	}
+	m.FH, err = fhandle.Decode(d)
+	return err
+}
+
+// ExportEntry is one exported directory and the groups allowed to mount
+// it (empty means world-mountable).
+type ExportEntry struct {
+	Dir    string
+	Groups []string
+}
+
+// ExportRes is the EXPORT result: the export list as nested XDR linked
+// lists.
+type ExportRes struct {
+	Entries []ExportEntry
+}
+
+// Encode implements Msg.
+func (m *ExportRes) Encode(e *xdr.Encoder) {
+	for i := range m.Entries {
+		e.PutBool(true)
+		e.PutString(m.Entries[i].Dir)
+		for _, g := range m.Entries[i].Groups {
+			e.PutBool(true)
+			e.PutString(g)
+		}
+		e.PutBool(false)
+	}
+	e.PutBool(false)
+}
+
+// Decode implements Msg.
+func (m *ExportRes) Decode(d *xdr.Decoder) error {
+	m.Entries = m.Entries[:0]
+	for {
+		more, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		if len(m.Entries) >= maxListEntries {
+			return ErrBadMessage
+		}
+		var ent ExportEntry
+		if ent.Dir, err = d.String(); err != nil {
+			return err
+		}
+		if len(ent.Dir) > MountPathLen {
+			return ErrBadMessage
+		}
+		for {
+			g, err := d.Bool()
+			if err != nil {
+				return err
+			}
+			if !g {
+				break
+			}
+			if len(ent.Groups) >= maxListEntries {
+				return ErrBadMessage
+			}
+			s, err := d.String()
+			if err != nil {
+				return err
+			}
+			ent.Groups = append(ent.Groups, s)
+		}
+		m.Entries = append(m.Entries, ent)
+	}
+}

@@ -1,0 +1,122 @@
+package nfsproto
+
+import (
+	"bytes"
+	"testing"
+
+	"slice/internal/xdr"
+)
+
+func TestMountPortmapRoundTrip(t *testing.T) {
+	pairs := []struct{ in, out Msg }{
+		{&Mapping{Prog: Program, Vers: Version, Prot: IPProtoTCP, Port: 2049}, &Mapping{}},
+		{&Mapping{Prog: MountProgram, Vers: MountVersion, Prot: IPProtoUDP}, &Mapping{}},
+		{&GetPortRes{Port: 32771}, &GetPortRes{}},
+		{&DumpRes{}, &DumpRes{}},
+		{&DumpRes{Mappings: []Mapping{
+			{Prog: PortmapProgram, Vers: PortmapVersion, Prot: IPProtoTCP, Port: 111},
+			{Prog: Program, Vers: Version, Prot: IPProtoTCP, Port: 2049},
+			{Prog: MountProgram, Vers: MountVersion, Prot: IPProtoTCP, Port: 2049},
+		}}, &DumpRes{}},
+		{&MountPathArgs{Path: "/"}, &MountPathArgs{}},
+		{&MountPathArgs{Path: "/export/vol0"}, &MountPathArgs{}},
+		{&MountMntRes{Status: OK, FH: fh(1)}, &MountMntRes{}},
+		{&MountMntRes{Status: ErrNoEnt}, &MountMntRes{}},
+		{&ExportRes{}, &ExportRes{}},
+		{&ExportRes{Entries: []ExportEntry{
+			{Dir: "/"},
+			{Dir: "/export/vol0", Groups: []string{"lab", "cluster"}},
+		}}, &ExportRes{}},
+	}
+	for _, p := range pairs {
+		in, out := p.in, p.out
+		e := xdr.NewEncoder(256)
+		in.Encode(e)
+		if err := out.Decode(xdr.NewDecoder(e.Bytes())); err != nil {
+			t.Fatalf("%T decode: %v", in, err)
+		}
+		// Re-encode and compare bytes: DeepEqual trips over nil-vs-empty
+		// slices in the list messages, byte equality does not.
+		e2 := xdr.NewEncoder(256)
+		out.Encode(e2)
+		if !bytes.Equal(e.Bytes(), e2.Bytes()) {
+			t.Fatalf("%T re-encode mismatch:\n in: %x\nout: %x", in, e.Bytes(), e2.Bytes())
+		}
+	}
+}
+
+func TestMountPathTooLongRejected(t *testing.T) {
+	e := xdr.NewEncoder(2048)
+	e.PutString(string(make([]byte, MountPathLen+1)))
+	var m MountPathArgs
+	if err := m.Decode(xdr.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("oversized dirpath accepted")
+	}
+}
+
+func TestDumpResTruncatedListRejected(t *testing.T) {
+	e := xdr.NewEncoder(64)
+	e.PutBool(true) // "an entry follows" — but nothing does
+	var m DumpRes
+	if err := m.Decode(xdr.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("truncated mapping list accepted")
+	}
+}
+
+func TestExportResRunawayListRejected(t *testing.T) {
+	// maxListEntries+1 well-formed entries must be rejected, not decoded.
+	e := xdr.NewEncoder(1 << 16)
+	for i := 0; i <= maxListEntries; i++ {
+		e.PutBool(true)
+		e.PutString("/x")
+		e.PutBool(false)
+	}
+	e.PutBool(false)
+	var m ExportRes
+	if err := m.Decode(xdr.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("runaway export list accepted")
+	}
+}
+
+// FuzzParseMountPortmap ensures the MOUNT and portmap decoders never
+// panic on hostile bytes, and that anything accepted re-encodes to a form
+// that decodes identically (the round-trip invariant).
+func FuzzParseMountPortmap(f *testing.F) {
+	seed := func(m Msg) []byte {
+		e := xdr.NewEncoder(256)
+		m.Encode(e)
+		return e.Bytes()
+	}
+	f.Add(uint32(0), seed(&Mapping{Prog: Program, Vers: Version, Prot: IPProtoTCP, Port: 2049}))
+	f.Add(uint32(1), seed(&GetPortRes{Port: 2049}))
+	f.Add(uint32(2), seed(&DumpRes{Mappings: []Mapping{{Prog: MountProgram, Vers: MountVersion, Prot: IPProtoTCP, Port: 2049}}}))
+	f.Add(uint32(3), seed(&MountPathArgs{Path: "/export"}))
+	f.Add(uint32(4), seed(&MountMntRes{Status: OK, FH: fh(7)}))
+	f.Add(uint32(5), seed(&ExportRes{Entries: []ExportEntry{{Dir: "/", Groups: []string{"g"}}}}))
+	f.Add(uint32(5), []byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, kind uint32, body []byte) {
+		var m Msg
+		switch kind % 6 {
+		case 0:
+			m = &Mapping{}
+		case 1:
+			m = &GetPortRes{}
+		case 2:
+			m = &DumpRes{}
+		case 3:
+			m = &MountPathArgs{}
+		case 4:
+			m = &MountMntRes{}
+		case 5:
+			m = &ExportRes{}
+		}
+		if err := m.Decode(xdr.NewDecoder(body)); err != nil {
+			return
+		}
+		e := xdr.NewEncoder(len(body))
+		m.Encode(e)
+		if err := m.Decode(xdr.NewDecoder(e.Bytes())); err != nil {
+			t.Fatalf("%T rejected its own re-encoding: %v", m, err)
+		}
+	})
+}

@@ -6,11 +6,23 @@ import "fmt"
 // package: the components that own the canonical constants (nfsproto,
 // dirsrv, storage, coord) all import obs.
 const (
+	progPortmap = 100000
 	progNFS     = 100003
 	progMount   = 100005
 	progObj     = 200101
 	progDirPeer = 200201
 	progCoord   = 200301
+)
+
+// Histogram names for the wire gateway's per-connection TCP serving
+// layer: record sizes in each direction, per-connection totals at close,
+// and connection lifetime.
+const (
+	HistWireRxRecord = "wire.rx_record"
+	HistWireTxRecord = "wire.tx_record"
+	HistWireConnRx   = "wire.conn_rx_bytes"
+	HistWireConnTx   = "wire.conn_tx_bytes"
+	HistWireConnNS   = "wire.conn_ns"
 )
 
 // Histogram names for the client bulk-I/O engine. bulk.window samples
@@ -67,8 +79,28 @@ func OpName(prog, proc uint32) string {
 			return nfsProcNames[proc]
 		}
 	case progMount:
-		if proc == 1 {
+		switch proc {
+		case 0:
+			return "mount.null"
+		case 1:
 			return "mount.mnt"
+		case 2:
+			return "mount.dump"
+		case 3:
+			return "mount.umnt"
+		case 4:
+			return "mount.umntall"
+		case 5:
+			return "mount.export"
+		}
+	case progPortmap:
+		switch proc {
+		case 0:
+			return "portmap.null"
+		case 3:
+			return "portmap.getport"
+		case 4:
+			return "portmap.dump"
 		}
 	case progObj:
 		switch proc {

@@ -16,6 +16,7 @@
 package oncrpc
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -233,7 +234,21 @@ func (c *ClientConfig) defaults() {
 
 // xidCounter feeds randomUint32. A scrambled atomic counter gives every
 // client process-wide unique, well-spread draws without a global rand lock.
+// It MUST start from per-process entropy: a zero start would make every
+// process draw the same "random" xid sequence, so two client processes
+// reaching a server from a reused source address would collide in its
+// duplicate-request cache and be served each other's cached replies.
 var xidCounter atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// No entropy source: fall back to the clock, which still differs
+		// across process starts.
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	xidCounter.Store(binary.BigEndian.Uint64(b[:]))
+}
 
 // randomUint32 returns the next draw from a splitmix64 sequence over the
 // package counter: cheap, lock-free, and uniform enough that two client
@@ -627,12 +642,24 @@ func (f HandlerFunc) ServeRPC(call Call, from netsim.Addr) (func(*xdr.Encoder), 
 // drcEntry is a duplicate-request cache entry.
 type drcEntry struct {
 	key   drcKey
+	id    callID
 	reply []byte
 }
 
 type drcKey struct {
 	host netsim.Addr
 	xid  uint32
+}
+
+// callID is the verifier a {source, xid} cache slot carries: the call's
+// program, version, procedure, and argument length. A true retransmission
+// repeats all four; a different call re-using the slot's {source, xid} —
+// a new client incarnation on a recycled source address whose xid window
+// happens to overlap — does not, and replaying the cached reply to it
+// would answer the wrong procedure entirely.
+type callID struct {
+	prog, vers, proc uint32
+	bodyLen          int
 }
 
 // ServerObserver is notified after each handled call with the call's
@@ -651,7 +678,7 @@ type Server struct {
 	drc      map[drcKey]int // key -> index into drcRing
 	drcRing  []drcEntry
 	drcNext  int
-	inflight map[drcKey]bool
+	inflight map[drcKey]callID
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -668,7 +695,7 @@ func NewServer(port Conn, handler Handler) *Server {
 		handler:  handler,
 		drc:      make(map[drcKey]int),
 		drcRing:  make([]drcEntry, DRCSize),
-		inflight: make(map[drcKey]bool),
+		inflight: make(map[drcKey]callID),
 		closed:   make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -723,28 +750,42 @@ func (s *Server) serveLoop() {
 			call.Traced = true
 		}
 		key := drcKey{host: h.Src, xid: call.Xid}
+		id := callID{prog: call.Program, vers: call.Version,
+			proc: call.Proc, bodyLen: len(call.Body)}
 
 		s.mu.Lock()
 		if idx, ok := s.drc[key]; ok {
-			// Retransmission of a completed call: replay the reply.
-			reply := s.drcRing[idx].reply
-			s.mu.Unlock()
-			netsim.FreeBuf(d)
-			_ = s.port.SendTo(h.Src, reply)
-			continue
+			if s.drcRing[idx].id == id {
+				// Retransmission of a completed call: replay the reply.
+				reply := s.drcRing[idx].reply
+				s.mu.Unlock()
+				netsim.FreeBuf(d)
+				_ = s.port.SendTo(h.Src, reply)
+				continue
+			}
+			// Same {source, xid} but a different call: not a
+			// retransmission. Drop the stale entry (clearing its ring
+			// slot so the eventual slot reuse cannot evict a newer entry
+			// under the same key) and execute the call fresh.
+			delete(s.drc, key)
+			s.drcRing[idx] = drcEntry{}
 		}
-		if s.inflight[key] {
+		if _, ok := s.inflight[key]; ok {
 			// Retransmission of an in-progress call: drop; the client
-			// will retry and eventually hit the DRC.
+			// will retry and eventually hit the DRC. A *different* call
+			// colliding with the in-flight slot is also dropped — one
+			// key cannot track both — but its retransmission lands
+			// after the first call completes and then takes the
+			// stale-entry path above, so it is executed, not wedged.
 			s.mu.Unlock()
 			netsim.FreeBuf(d)
 			continue
 		}
-		s.inflight[key] = true
+		s.inflight[key] = id
 		s.mu.Unlock()
 
 		s.wg.Add(1)
-		go func(call Call, from netsim.Addr, key drcKey, d []byte) {
+		go func(call Call, from netsim.Addr, key drcKey, id callID, d []byte) {
 			defer s.wg.Done()
 			obsFn := s.obs.Load()
 			timed := obsFn != nil || call.Traced
@@ -774,12 +815,12 @@ func (s *Server) serveLoop() {
 			if old := &s.drcRing[s.drcNext]; old.reply != nil {
 				delete(s.drc, old.key)
 			}
-			s.drcRing[s.drcNext] = drcEntry{key: key, reply: reply}
+			s.drcRing[s.drcNext] = drcEntry{key: key, id: id, reply: reply}
 			s.drc[key] = s.drcNext
 			s.drcNext = (s.drcNext + 1) % DRCSize
 			s.mu.Unlock()
 
 			_ = s.port.SendTo(from, reply)
-		}(call, h.Src, key, d)
+		}(call, h.Src, key, id, d)
 	}
 }

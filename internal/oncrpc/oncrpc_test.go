@@ -532,3 +532,64 @@ func TestStrayReplyRejected(t *testing.T) {
 		t.Fatalf("StrayReplies = %d, want 1", got)
 	}
 }
+
+// TestDRCVerifiesCallIdentity is the regression test for cross-client
+// reply replay: the DRC used to key replays on {src, xid} alone, so when
+// a fabric source address was recycled (gateway synthetic-host reuse plus
+// netsim ephemeral-port recycling) a new client whose xid collided with a
+// dead client's cached entry was handed the dead client's reply — for a
+// different procedure. A same-{src, xid} call that differs in program,
+// version, procedure, or body length must execute fresh.
+func TestDRCVerifiesCallIdentity(t *testing.T) {
+	var executions atomic.Uint64
+	n := netsim.New(netsim.Config{})
+	sp, _ := n.Bind(netsim.Addr{Host: 2, Port: 2049})
+	srv := NewServer(sp, countingHandler(&executions))
+	defer srv.Close()
+	cp, _ := n.Bind(netsim.Addr{Host: 1, Port: 100})
+	defer cp.Close()
+
+	call := func(payload []byte) uint64 {
+		t.Helper()
+		if err := cp.SendTo(srv.Addr(), payload); err != nil {
+			t.Fatal(err)
+		}
+		d, err := cp.Recv(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ParseReply(netsim.Payload(d))
+		netsim.FreeBuf(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := xdr.NewDecoder(rep.Body).Uint64()
+		return v
+	}
+
+	const xid = 4242
+	if got := call(EncodeCall(xid, 7, 1, 1, nil)); got != 1 {
+		t.Fatalf("first call saw execution %d, want 1", got)
+	}
+	// Identical call, same {src, xid}: a true retransmission — replayed.
+	if got := call(EncodeCall(xid, 7, 1, 1, nil)); got != 1 {
+		t.Fatalf("retransmission saw execution %d, want replay of 1", got)
+	}
+	// Same {src, xid}, different procedure: an address-reuse collision,
+	// not a retransmission — must execute fresh.
+	if got := call(EncodeCall(xid, 7, 1, 2, nil)); got != 2 {
+		t.Fatalf("colliding different-proc call saw %d, want fresh execution 2", got)
+	}
+	// The collision evicted the stale entry; retransmitting the *new*
+	// call now replays the new call's reply.
+	if got := call(EncodeCall(xid, 7, 1, 2, nil)); got != 2 {
+		t.Fatalf("retransmit after collision saw %d, want replay of 2", got)
+	}
+	// A different body length under the same {src, xid, proc} also misses.
+	if got := call(EncodeCall(xid, 7, 1, 2, func(e *xdr.Encoder) { e.PutUint32(1) })); got != 3 {
+		t.Fatalf("different-body call saw %d, want fresh execution 3", got)
+	}
+	if got := executions.Load(); got != 3 {
+		t.Fatalf("handler executed %d times, want 3", got)
+	}
+}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"slice/internal/netsim"
+)
+
+// connPlaceholderHost is the fabric host a client-side Conn reports in
+// Addr(). Like udpgate's placeholder it sits below every synthetic peer
+// range, so it can never collide with a gateway-allocated host.
+const connPlaceholderHost = 0x7E000002
+
+// Conn is a client-side oncrpc.Conn over a record-marked TCP stream,
+// usable with client.NewWithConn. The TCP connection itself is the peer
+// check (only the dialed gateway can write to it), so received records
+// are stamped with the last-sent destination address — the fabric-level
+// reflection the RPC client's peer-address check expects.
+type Conn struct {
+	tcp net.Conn
+	br  *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	mu   sync.Mutex
+	peer netsim.Addr
+}
+
+// Dial connects to a wire gateway's TCP address.
+func Dial(server string) (*Conn, error) {
+	tcp, err := net.Dial("tcp", server)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(tcp), nil
+}
+
+// NewConn wraps an established stream in the record-marked framing.
+func NewConn(tcp net.Conn) *Conn {
+	return &Conn{
+		tcp: tcp,
+		br:  bufio.NewReaderSize(tcp, 64<<10),
+		bw:  bufio.NewWriterSize(tcp, 64<<10),
+	}
+}
+
+// SendTo implements oncrpc.Conn. The destination fabric address is
+// implied by the dialed gateway (it always targets the virtual server),
+// so dst is only recorded for reply stamping.
+func (c *Conn) SendTo(dst netsim.Addr, payload []byte) error {
+	c.mu.Lock()
+	c.peer = dst
+	c.mu.Unlock()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeRecord(c.bw, payload, DefaultFragSize); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv implements oncrpc.Conn: it reads one reassembled record into a
+// pooled header-prefixed buffer and stamps the synthetic source address.
+// A timeout that fires mid-record leaves the stream unsynchronizable, so
+// the connection is closed; the RPC layer treats it like a dead port.
+func (c *Conn) Recv(timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		if err := c.tcp.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := c.tcp.SetReadDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+	}
+	d, err := readRecord(c.br, netsim.HeaderSize)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() && c.br.Buffered() > 0 {
+			c.tcp.Close()
+		}
+		return nil, err
+	}
+	c.mu.Lock()
+	src := c.peer
+	c.mu.Unlock()
+	binary.BigEndian.PutUint32(d[netsim.OffSrcHost:], src.Host)
+	binary.BigEndian.PutUint16(d[netsim.OffSrcPort:], src.Port)
+	return d, nil
+}
+
+// Addr implements oncrpc.Conn with a placeholder fabric address outside
+// every gateway's synthetic peer range.
+func (c *Conn) Addr() netsim.Addr { return netsim.Addr{Host: connPlaceholderHost, Port: 1} }
+
+// Close implements oncrpc.Conn.
+func (c *Conn) Close() { _ = c.tcp.Close() }

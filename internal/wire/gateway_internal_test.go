@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"slice/internal/netsim"
+)
+
+// TestGatewaySyntheticHostsUniqueAcrossGateways pins the process-wide
+// synthetic-host allocator: two fleet members' gateways share one fabric,
+// and independent per-gateway counters used to hand their first
+// connections the same fabric host. Combined with netsim's
+// ephemeral-port recycling that could give two distinct clients
+// identical {host, port} source addresses — which poisons the servers'
+// duplicate-request caches across clients.
+func TestGatewaySyntheticHostsUniqueAcrossGateways(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	virtual := netsim.Addr{Host: 100, Port: 2049}
+	if _, err := n.Bind(virtual); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 2; i++ {
+		gw, err := NewGateway("127.0.0.1:0", n, virtual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer gw.Close()
+		for j := 0; j < 2; j++ {
+			tcp, err := net.Dial("tcp", gw.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tcp.Close()
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for gw.Stats().Conns < 2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("gateway %d admitted %d conns, want 2", i, gw.Stats().Conns)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		gw.mu.Lock()
+		for c := range gw.conns {
+			host := c.port.Addr().Host
+			if host <= synthHostBase {
+				t.Errorf("gateway %d conn host %#x outside synthetic range (base %#x)", i, host, uint32(synthHostBase))
+			}
+			if seen[host] {
+				t.Errorf("gateway %d handed out host %#x twice across the fleet", i, host)
+			}
+			seen[host] = true
+		}
+		gw.mu.Unlock()
+	}
+	if len(seen) != 4 {
+		t.Fatalf("distinct synthetic hosts = %d, want 4", len(seen))
+	}
+}

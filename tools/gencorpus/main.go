@@ -93,6 +93,28 @@ func emitNfsproto() {
 	write("nfsproto", target, "seed_lookup_torn",
 		uint32(nfsproto.ProcLookup), lookup[:len(lookup)-3])
 	write("nfsproto", target, "seed_commit_empty", uint32(nfsproto.ProcCommit), []byte{})
+
+	// MOUNT and portmapper messages: the kind selector matches
+	// FuzzParseMountPortmap's kind%6 switch.
+	const mp = "FuzzParseMountPortmap"
+	write("nfsproto", mp, "seed_mapping",
+		uint32(0), msg(&nfsproto.Mapping{Prog: nfsproto.Program, Vers: nfsproto.Version,
+			Prot: nfsproto.IPProtoTCP, Port: 2049}))
+	write("nfsproto", mp, "seed_getport", uint32(1), msg(&nfsproto.GetPortRes{Port: 2049}))
+	write("nfsproto", mp, "seed_dump",
+		uint32(2), msg(&nfsproto.DumpRes{Mappings: []nfsproto.Mapping{
+			{Prog: nfsproto.Program, Vers: nfsproto.Version, Prot: nfsproto.IPProtoTCP, Port: 2049},
+			{Prog: nfsproto.MountProgram, Vers: nfsproto.MountVersion, Prot: nfsproto.IPProtoTCP, Port: 2049},
+		}}))
+	write("nfsproto", mp, "seed_mnt_args", uint32(3), msg(&nfsproto.MountPathArgs{Path: "/export/slice"}))
+	write("nfsproto", mp, "seed_mnt_res", uint32(4), msg(&nfsproto.MountMntRes{Status: nfsproto.OK, FH: fh}))
+	write("nfsproto", mp, "seed_export",
+		uint32(5), msg(&nfsproto.ExportRes{Entries: []nfsproto.ExportEntry{
+			{Dir: "/export/slice", Groups: []string{"lab"}}}}))
+	// A linked list whose more-flag promises an entry the body lacks.
+	write("nfsproto", mp, "seed_dump_torn_list", uint32(2), []byte{0, 0, 0, 1})
+	mnt := msg(&nfsproto.MountMntRes{Status: nfsproto.OK, FH: fh})
+	write("nfsproto", mp, "seed_mnt_res_torn", uint32(4), mnt[:len(mnt)-2])
 }
 
 func emitOncrpc() {
