@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-proxy bench-gate lint cover fuzz corpus
+.PHONY: check vet build test race bench bench-proxy bench-gate lint cover fuzz corpus nightly-chaos
 
 # The full gate: everything a change must pass before it lands.
 check: vet build race bench-proxy
@@ -40,6 +40,7 @@ BENCH_BULK_TIME ?= 3x
 BENCH_FLEET_TIME ?= 5000x
 BENCH_REPLICA_TIME ?= 2000x
 BENCH_WIRE_TIME ?= 3x
+BENCH_REBALANCE_TIME ?= 2x
 BENCH_TOLERANCE ?= 2.5
 bench-gate:
 	$(GO) test -run xxx -bench 'ProxyForward|CacheHit' -benchmem \
@@ -61,22 +62,36 @@ bench-gate:
 	    -benchtime $(BENCH_WIRE_TIME) -count $(BENCH_COUNT) -cpu 4 . > bench_wire.out \
 	    || { cat bench_wire.out; exit 1; }
 	$(GO) run ./cmd/benchgate -baseline BENCH_wire.json -input bench_wire.out -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run xxx -bench 'BenchmarkRebalanceThroughput' -benchmem \
+	    -benchtime $(BENCH_REBALANCE_TIME) -count $(BENCH_COUNT) -cpu 4 . > bench_rebalance.out \
+	    || { cat bench_rebalance.out; exit 1; }
+	$(GO) run ./cmd/benchgate -baseline BENCH_rebalance.json -input bench_rebalance.out -tolerance $(BENCH_TOLERANCE)
 
-# Static analysis beyond vet. The tools are not vendored: CI installs
-# them; offline checkouts skip with a note rather than failing.
+# Static analysis beyond vet. The tools are not vendored: offline
+# checkouts skip a missing tool with a note, but under CI=1 a missing
+# tool is an error — the lint job must never silently pass because an
+# install step broke.
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 	    staticcheck ./... ; \
+	elif [ -n "$(CI)" ]; then \
+	    echo "lint: staticcheck not installed (required under CI=1)"; exit 1; \
 	else echo "lint: staticcheck not installed; skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then \
 	    govulncheck ./... ; \
+	elif [ -n "$(CI)" ]; then \
+	    echo "lint: govulncheck not installed (required under CI=1)"; exit 1; \
 	else echo "lint: govulncheck not installed; skipping"; fi
 
 # Coverage with a floor: the suite must keep covering at least
-# COVER_FLOOR% of statements overall, and internal/replica (the
-# correctness-critical replica map + resync protocol) must also meet the
-# floor on its own — cross-package chaos tests don't count toward it.
+# COVER_FLOOR% of statements overall, and two correctness-critical
+# packages must also meet per-package floors on their own —
+# cross-package chaos tests don't count toward them: internal/replica
+# (replica map + resync protocol) and internal/rebalance (online block
+# migration; its floor is higher because a missed branch there is lost
+# data, not a missed optimization).
 COVER_FLOOR ?= 65
+REBAL_COVER_FLOOR ?= 80
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
 	@$(GO) tool cover -func=cover.out | tail -1
@@ -88,15 +103,32 @@ cover:
 	awk -v t="$$pkg" -v f="$(COVER_FLOOR)" 'BEGIN { \
 	    if (t+0 < f+0) { printf "cover: internal/replica %.1f%% is below the %s%% floor\n", t, f; exit 1 } \
 	    else { printf "cover: internal/replica %.1f%% >= %s%% floor\n", t, f } }'
+	@pkg=$$($(GO) test -cover ./internal/rebalance/ | awk '{ for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { sub(/%/,"",$$i); print $$i } }'); \
+	awk -v t="$$pkg" -v f="$(REBAL_COVER_FLOOR)" 'BEGIN { \
+	    if (t+0 < f+0) { printf "cover: internal/rebalance %.1f%% is below the %s%% floor\n", t, f; exit 1 } \
+	    else { printf "cover: internal/rebalance %.1f%% >= %s%% floor\n", t, f } }'
+
+# The nightly chaos matrix, locally: the whole chaos suite plus the
+# chaos_long elastic-topology scenarios, across {udp,tcp} transports and
+# {1,3}-way replication under the race detector. CI runs the same matrix
+# with -count 3 (.github/workflows/nightly.yml).
+nightly-chaos:
+	@for t in udp tcp; do for k in 1 3; do \
+	    echo "== chaos matrix: transport=$$t replication=$$k =="; \
+	    CHAOS_TRANSPORT=$$t CHAOS_REPLICATION=$$k \
+	    $(GO) test -tags chaos_long -race -count 1 ./internal/chaos/ || exit 1; \
+	done; done
 
 # Regenerate the checked-in fuzz seed corpora (testdata/fuzz/...).
 corpus:
 	$(GO) run ./tools/gencorpus
 
-# Fixed-budget run of every fuzz target (wire parsers and the WAL scanner).
+# Fixed-budget run of every fuzz target (wire parsers, the WAL scanner,
+# and the routing-table transition machine).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzScan -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/route/ -run '^$$' -fuzz FuzzTableTransition -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oncrpc/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/nfsproto/ -run '^$$' -fuzz FuzzParseCall -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/nfsproto/ -run '^$$' -fuzz FuzzParseMountPortmap -fuzztime $(FUZZTIME)

@@ -973,3 +973,60 @@ func BenchmarkWireWrite(b *testing.B) {
 	b.StopTimer()
 	assertWireRecords(b, e)
 }
+
+// ------------------------------------------------ rebalance throughput
+//
+// BenchmarkRebalanceThroughput measures online migration bandwidth:
+// grow a four-node array to six while a SPECsfs-like foreground mix
+// runs against it, and report the driver's copy traffic as MB/s (only
+// bytes the migration itself moved count — double-written foreground
+// traffic lands via the I/O policy, not the driver). Each op is a full
+// ensemble lifecycle, so run it with a small -benchtime count. Gated by
+// BENCH_rebalance.json.
+func BenchmarkRebalanceThroughput(b *testing.B) {
+	var movedMB, secs float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := ensemble.New(ensemble.Config{
+			StorageNodes: 4, DirServers: 2, SmallFileServers: 1,
+			Coordinator: true, NameKind: route.MkdirSwitching,
+			LogicalSites: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := e.NewClient()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Bulk ballast is what the driver actually has to move.
+		if _, err := workload.DD(c, c.Root(), workload.DDConfig{
+			Name: "rebal-ballast", Bytes: 8 << 20, Write: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		loadDone := make(chan error, 1)
+		go func() {
+			_, err := workload.Sfs(c, c.Root(), workload.SfsConfig{
+				Files: 40, Ops: 600, Prefix: "rebal-load", Seed: 3,
+			})
+			loadDone <- err
+		}()
+		b.StartTimer()
+		start := time.Now()
+		if err := e.Grow(2); err != nil {
+			b.Fatal(err)
+		}
+		secs += time.Since(start).Seconds()
+		b.StopTimer()
+		movedMB += float64(e.RebalanceStatus().BytesMoved) / (1 << 20)
+		if err := <-loadDone; err != nil {
+			b.Fatalf("foreground mix failed during grow: %v", err)
+		}
+		c.Close()
+		e.Close()
+	}
+	if secs > 0 {
+		b.ReportMetric(movedMB/secs, "MB/s")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"slice/internal/netsim"
 	"slice/internal/obs"
 	"slice/internal/oncrpc"
+	"slice/internal/rebalance"
 	"slice/internal/route"
 	"slice/internal/udpgate"
 	"slice/internal/wire"
@@ -52,13 +53,14 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: slicectl [-connect addr] <ls|mkdir|put|get|stat|mv|rm|rmdir|df|untar|stats|trace> [args]")
+		fmt.Fprintln(os.Stderr, "usage: slicectl [-connect addr] <ls|mkdir|put|get|stat|mv|rm|rmdir|df|untar|stats|trace|grow|shrink|rebalance-status> [args]")
 		os.Exit(2)
 	}
 
 	// stats and trace talk the absorbed stats RPC program directly to the
 	// virtual server; no mount, no NFS client.
-	statsCmd := args[0] == "stats" || args[0] == "trace"
+	statsCmd := args[0] == "stats" || args[0] == "trace" ||
+		args[0] == "grow" || args[0] == "shrink" || args[0] == "rebalance-status"
 
 	var c *client.Client
 	var rc *oncrpc.Client
@@ -169,6 +171,43 @@ func runStats(rc *oncrpc.Client, args []string) error {
 			fleet.WriteText(os.Stdout)
 		}
 		printReplicaSection(snap)
+		return nil
+
+	case "grow", "shrink":
+		if len(args) < 2 {
+			return fmt.Errorf("%s: node count required", args[0])
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("%s: bad node count %q", args[0], args[1])
+		}
+		proc := uint32(obs.ProcGrow)
+		if args[0] == "shrink" {
+			proc = obs.ProcShrink
+		}
+		raw, err := statsCall(rc, proc, uint32(n))
+		if err != nil {
+			return fmt.Errorf("%s: %w", args[0], err)
+		}
+		fmt.Printf("%s\n", raw)
+		fmt.Println("rebalance started; watch with: slicectl rebalance-status")
+		return nil
+
+	case "rebalance-status":
+		raw, err := statsCall(rc, obs.ProcRebalanceStatus, 0)
+		if err != nil {
+			return fmt.Errorf("rebalance-status: %w", err)
+		}
+		var st rebalance.Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return fmt.Errorf("rebalance-status: %w", err)
+		}
+		fmt.Printf("state %s  epoch %d  round %d  objects %d\n", st.State, st.Epoch, st.Round, st.Objects)
+		fmt.Printf("chunks checked %d  repaired %d  bytes moved %d  ghosts removed %d\n",
+			st.ChunksChecked, st.ChunksRepaired, st.BytesMoved, st.Ghosts)
+		if st.Err != "" {
+			fmt.Printf("error: %s\n", st.Err)
+		}
 		return nil
 
 	case "trace":

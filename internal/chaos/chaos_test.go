@@ -38,6 +38,7 @@ func newEnsemble(t *testing.T, mutate func(*ensemble.Config)) *ensemble.Ensemble
 		t.Fatal(err)
 	}
 	t.Cleanup(e.Close)
+	ArtifactsOnFailure(t, e)
 	return e
 }
 

@@ -16,6 +16,10 @@ import (
 	"testing"
 	"time"
 
+	"os"
+	"path/filepath"
+	"strings"
+
 	"slice/internal/checksum"
 	"slice/internal/client"
 	"slice/internal/dirsrv"
@@ -24,6 +28,7 @@ import (
 	"slice/internal/nfsproto"
 	"slice/internal/oncrpc"
 	"slice/internal/storage"
+	"slice/internal/wal"
 )
 
 // Retry runs op until it succeeds, fails with a permanent (non-timeout)
@@ -253,4 +258,51 @@ func VerifyAcked(c *client.Client, budget time.Duration, acked []Entry) []string
 		}
 	}
 	return lost
+}
+
+// ArtifactsOnFailure registers a cleanup that, when the test fails and
+// CHAOS_ARTIFACT_DIR is set (the nightly CI matrix points it at the
+// upload directory), dumps the ensemble's forensic state there: every
+// intention log (coordinator, directory servers, small-file servers) as
+// raw WAL bytes plus a cluster-wide obs snapshot. Without the env var
+// this is a no-op, so local runs stay clean.
+func ArtifactsOnFailure(t testing.TB, e *ensemble.Ensemble) {
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		sub := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_"))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Logf("artifacts: %v", err)
+			return
+		}
+		if err := os.WriteFile(filepath.Join(sub, "obs_snapshot.json"), e.Obs.SnapshotJSON(), 0o644); err != nil {
+			t.Logf("artifacts: %v", err)
+		}
+		dump := func(name string, store *wal.MemStore) {
+			if store == nil {
+				return
+			}
+			b, err := store.Contents()
+			if err != nil {
+				t.Logf("artifacts: %s: %v", name, err)
+				return
+			}
+			if err := os.WriteFile(filepath.Join(sub, name), b, 0o644); err != nil {
+				t.Logf("artifacts: %s: %v", name, err)
+			}
+		}
+		dump("coord.wal", e.CoordLog)
+		for i, s := range e.DirLogs {
+			dump(fmt.Sprintf("dir%d.wal", i), s)
+		}
+		for i, s := range e.SmallLogs {
+			dump(fmt.Sprintf("small%d.wal", i), s)
+		}
+		t.Logf("artifacts: dumped WALs and obs snapshot to %s", sub)
+	})
 }

@@ -1,0 +1,288 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"slice/internal/ensemble"
+	"slice/internal/netsim"
+	"slice/internal/workload"
+)
+
+// movedFraction compares two logical-site bindings and returns the
+// fraction of sites whose owner changed.
+func movedFraction(before, after []netsim.Addr) float64 {
+	moved := 0
+	for i := range before {
+		if i >= len(after) || before[i] != after[i] {
+			moved++
+		}
+	}
+	return float64(moved) / float64(len(before))
+}
+
+// assertWidenedStripe writes a fresh multi-stripe file AFTER the swap
+// and asserts its bulk stripes route onto the added nodes — new writes
+// use the wider stripe class.
+func assertWidenedStripe(t *testing.T, e *ensemble.Ensemble, added []netsim.Addr) {
+	t.Helper()
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fh, _, err := c.Create(c.Root(), "post-swap-wide", 0o644, true)
+	if err != nil {
+		t.Fatalf("post-swap create: %v", err)
+	}
+	data := make([]byte, 16*e.IOPolicy.StripeUnit)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := c.WriteFile(fh, data); err != nil {
+		t.Fatalf("post-swap write: %v", err)
+	}
+	hit := make(map[netsim.Addr]bool)
+	for stripe := uint64(0); stripe < 16; stripe++ {
+		targets, err := e.IOPolicy.WriteTargets(fh, stripe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range targets {
+			hit[a] = true
+		}
+	}
+	for _, a := range added {
+		if !hit[a] {
+			t.Fatalf("post-swap stripes never route to added node %v: class not widened", a)
+		}
+	}
+	VerifyBytes(t, e, c, fh, data)
+}
+
+// TestGrowUnderLiveLoadZeroFailedOps grows the array 4 -> 6 while a
+// SPECsfs-like mix runs against it. Every client operation must
+// succeed (the transition is invisible to the workload), the moved
+// logical-site fraction must stay within 1.2x the consistent-hashing
+// minimum, and post-swap writes must stripe across the widened class.
+func TestGrowUnderLiveLoadZeroFailedOps(t *testing.T) {
+	e := newEnsemble(t, func(cfg *ensemble.Config) {
+		cfg.StorageNodes = 4
+		// Logical slack: 12 sites over 4 nodes, so growing to 6 can
+		// move exactly the CH-minimum 1/3 of the space.
+		cfg.LogicalSites = 12
+	})
+	before := e.StorageTable.Physical()
+
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var (
+		wg     sync.WaitGroup
+		sfsErr error
+		stats  workload.SfsStats
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stats, sfsErr = workload.Sfs(c, c.Root(), workload.SfsConfig{
+			Files: 60, Ops: 800, Prefix: "grow-load", Seed: 7,
+		})
+	}()
+	// Let the working set build before the topology moves under it.
+	time.Sleep(20 * time.Millisecond)
+	if err := e.Grow(2); err != nil {
+		t.Fatalf("Grow under load: %v", err)
+	}
+	wg.Wait()
+	if sfsErr != nil {
+		t.Fatalf("foreground mix failed during grow: %v", sfsErr)
+	}
+	if stats.ReadErrs != 0 {
+		t.Fatalf("%d foreground reads returned wrong bytes during grow", stats.ReadErrs)
+	}
+
+	after := e.StorageTable.Physical()
+	if len(after) != len(before) {
+		t.Fatalf("logical site count changed: %d -> %d", len(before), len(after))
+	}
+	frac := movedFraction(before, after)
+	chMin := 2.0 / 6.0 // added/new share of the space
+	if frac > 1.2*chMin {
+		t.Fatalf("moved fraction %.3f exceeds 1.2x CH minimum %.3f", frac, chMin)
+	}
+	if frac == 0 {
+		t.Fatal("no sites moved: the new nodes carry nothing")
+	}
+	if st := e.RebalanceStatus(); st.State != "done" {
+		t.Fatalf("rebalance status %q after successful grow", st.State)
+	}
+	FsckClean(t, e)
+	added := []netsim.Addr{
+		{Host: ensemble.HostStorage0 + 4, Port: ensemble.ServicePort},
+		{Host: ensemble.HostStorage0 + 5, Port: ensemble.ServicePort},
+	}
+	assertWidenedStripe(t, e, added)
+}
+
+// TestAddTwoKillOneMidRebalance is the ROADMAP scenario verbatim: add
+// two storage nodes and kill one of them in the middle of the
+// rebalance, under the SPECsfs mix. The migration must ride out the
+// reboot (the node keeps its disk), no blocks may be lost, the
+// namespace must be fsck-clean, and post-swap writes must stripe
+// across the widened class.
+func TestAddTwoKillOneMidRebalance(t *testing.T) {
+	e := newEnsemble(t, func(cfg *ensemble.Config) {
+		cfg.StorageNodes = 4
+		cfg.LogicalSites = 12
+	})
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ch := e.Chaos()
+
+	// Bulk ballast makes the copy phase long enough that the reboot
+	// lands while the migration is demonstrably in flight.
+	if _, err := workload.DD(c, c.Root(), workload.DDConfig{
+		Name: "ballast", Bytes: 6 << 20, Write: true,
+	}); err != nil {
+		t.Fatalf("ballast: %v", err)
+	}
+
+	var (
+		wg     sync.WaitGroup
+		sfsErr error
+		stats  workload.SfsStats
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stats, sfsErr = workload.Sfs(c, c.Root(), workload.SfsConfig{
+			Files: 60, Ops: 800, Prefix: "kill-load", Seed: 11,
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	growErr := make(chan error, 1)
+	go func() { growErr <- e.Grow(2) }()
+
+	// Kill (reboot) incoming node 4 the moment the copy is live.
+	if !WaitFor(5*time.Second, func() bool {
+		return e.RebalanceStatus().State == "running" && len(e.Storage) >= 6
+	}) {
+		t.Fatal("rebalance never started")
+	}
+	if _, err := ch.RestartStorage(4); err != nil {
+		t.Fatalf("restart incoming node: %v", err)
+	}
+
+	if err := <-growErr; err != nil {
+		t.Fatalf("Grow with mid-rebalance kill: %v", err)
+	}
+	wg.Wait()
+	if sfsErr != nil {
+		t.Fatalf("foreground mix failed: %v", sfsErr)
+	}
+	if stats.ReadErrs != 0 {
+		t.Fatalf("%d foreground reads returned wrong bytes", stats.ReadErrs)
+	}
+	FsckClean(t, e)
+	added := []netsim.Addr{
+		{Host: ensemble.HostStorage0 + 4, Port: ensemble.ServicePort},
+		{Host: ensemble.HostStorage0 + 5, Port: ensemble.ServicePort},
+	}
+	assertWidenedStripe(t, e, added)
+}
+
+// TestShrinkUnderLoad drains the last two nodes of a six-node array
+// under load and verifies the workload never notices.
+func TestShrinkUnderLoad(t *testing.T) {
+	e := newEnsemble(t, func(cfg *ensemble.Config) {
+		cfg.StorageNodes = 6
+		cfg.LogicalSites = 12
+	})
+	c, err := e.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var (
+		wg     sync.WaitGroup
+		sfsErr error
+		stats  workload.SfsStats
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stats, sfsErr = workload.Sfs(c, c.Root(), workload.SfsConfig{
+			Files: 40, Ops: 500, Prefix: "shrink-load", Seed: 13,
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := e.Shrink(2); err != nil {
+		t.Fatalf("Shrink under load: %v", err)
+	}
+	wg.Wait()
+	if sfsErr != nil {
+		t.Fatalf("foreground mix failed during shrink: %v", sfsErr)
+	}
+	if stats.ReadErrs != 0 {
+		t.Fatalf("%d foreground reads returned wrong bytes during shrink", stats.ReadErrs)
+	}
+	// Nothing routes to the drained nodes any more.
+	for _, a := range e.StorageTable.Physical() {
+		for i := 4; i < 6; i++ {
+			if a == (netsim.Addr{Host: ensemble.HostStorage0 + uint32(i), Port: ensemble.ServicePort}) {
+				t.Fatalf("drained node %v still bound", a)
+			}
+		}
+	}
+	FsckClean(t, e)
+}
+
+// TestGrowRefusedForMappedAndMirrored pins the documented scope-outs:
+// elastic reconfiguration must refuse configurations whose placement
+// the driver cannot recompute from storage listings (DESIGN.md §13).
+func TestGrowRefusedForMappedAndMirrored(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*ensemble.Config)
+	}{
+		{"block-maps", func(cfg *ensemble.Config) { cfg.UseBlockMaps = true }},
+		{"mirrored", func(cfg *ensemble.Config) { cfg.MirrorDegree = 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEnsemble(t, func(cfg *ensemble.Config) {
+				cfg.StorageNodes = 4
+				tc.mutate(cfg)
+			})
+			if err := e.Grow(2); err == nil {
+				t.Fatal("Grow accepted a configuration the driver cannot migrate")
+			} else if want := "DESIGN.md"; !contains(err.Error(), want) {
+				t.Fatalf("refusal %q does not cite the design doc", err)
+			}
+			if err := e.Shrink(1); err == nil {
+				t.Fatal("Shrink accepted a configuration the driver cannot migrate")
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = fmt.Sprintf // keep fmt for the long-build variant's shared helpers

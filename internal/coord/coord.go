@@ -51,6 +51,7 @@ const (
 	OpTruncate = 2 // truncate file data on all sites
 	OpCommit   = 3 // commit (make durable) a multi-site write set
 	OpMirror   = 4 // mirrored write in progress
+	OpMigrate  = 5 // topology transition in progress; Size carries the epoch
 )
 
 // opName renders an op type for errors and logs.
@@ -64,6 +65,8 @@ func opName(op uint32) string {
 		return "commit"
 	case OpMirror:
 		return "mirror-write"
+	case OpMigrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("op(%d)", op)
 	}
@@ -319,14 +322,35 @@ func (c *Coordinator) finish(in *intent) error {
 		c.forEachStorage(func(addr netsim.Addr) {
 			record(c.nfsCommit(addr, in.FH))
 		})
+	case OpMigrate:
+		// A migration intention gone stale means its rebalance driver
+		// died mid-copy: roll the topology transition back so the old
+		// binding (which saw every double-written byte) stays
+		// authoritative. The epoch guard makes this a no-op against a
+		// newer — or already closed — transition, and a live driver
+		// keeps its intention fresh by chaining Complete+Intend, so a
+		// probe never reaches a healthy migration.
+		if c.cfg.Storage != nil {
+			c.cfg.Storage.Abort(in.Size)
+		}
 	}
 	return firstErr
 }
 
-// forEachStorage visits every storage node address once.
+// forEachStorage visits every storage node address once — including the
+// nodes of a pending topology transition, so recovery-time removes,
+// truncates, and commits reach the binding about to take over (a
+// remove finished against only the old nodes could resurrect its bytes
+// at the swap).
 func (c *Coordinator) forEachStorage(f func(netsim.Addr)) {
 	seen := make(map[netsim.Addr]bool)
 	for _, a := range c.cfg.Storage.Physical() {
+		if !seen[a] {
+			seen[a] = true
+			f(a)
+		}
+	}
+	for _, a := range c.cfg.Storage.PendingPhysical() {
 		if !seen[a] {
 			seen[a] = true
 			f(a)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync"
 	"time"
 
 	"slice/internal/attr"
@@ -21,6 +22,7 @@ import (
 	"slice/internal/obs"
 	"slice/internal/oncrpc"
 	"slice/internal/proxy"
+	"slice/internal/rebalance"
 	"slice/internal/replica"
 	"slice/internal/route"
 	"slice/internal/smallfile"
@@ -189,6 +191,12 @@ type Ensemble struct {
 	Root       fhandle.Handle
 	cfg        Config
 	nextClient uint32
+
+	// rebal is the lazily-built block-migration driver; adminMu orders
+	// the async stats-plane grow/shrink verbs.
+	rebalMu sync.Mutex
+	rebal   *rebalance.Driver
+	adminMu sync.Mutex
 }
 
 // New builds and starts an ensemble.
@@ -281,7 +289,9 @@ func New(cfg Config) (*Ensemble, error) {
 		smallAddrs = append(smallAddrs, addr)
 	}
 	if len(smallAddrs) > 0 {
-		e.SmallTable = route.NewTable(logical, smallAddrs)
+		// Small files place by consistent hashing: adding a small-file
+		// server moves only the names the ring assigns it (§12).
+		e.SmallTable = route.NewRingTable(smallAddrs)
 	}
 
 	// Coordinator.
@@ -315,7 +325,9 @@ func New(cfg Config) (*Ensemble, error) {
 	for i := 0; i < cfg.DirServers; i++ {
 		dirAddrs = append(dirAddrs, netsim.Addr{Host: HostDir0 + uint32(i), Port: ServicePort})
 	}
-	e.DirTable = route.NewTable(logical, dirAddrs)
+	// The name space places by consistent hashing too, so directory-
+	// server membership changes keep the minimal-movement property.
+	e.DirTable = route.NewRingTable(dirAddrs)
 	for i := 0; i < cfg.DirServers; i++ {
 		port, err := e.Net.Bind(dirAddrs[i])
 		if err != nil {
@@ -528,6 +540,14 @@ func (e *Ensemble) serveStats(proc, arg uint32) []byte {
 			max = 32
 		}
 		return e.Obs.TracesJSON(max)
+	case obs.ProcRebalanceStatus:
+		return e.Rebalancer().StatusJSON()
+	case obs.ProcGrow:
+		e.adminGrow(int(arg))
+		return []byte(fmt.Sprintf(`{"started":true,"verb":"grow","nodes":%d}`, arg))
+	case obs.ProcShrink:
+		e.adminShrink(int(arg))
+		return []byte(fmt.Sprintf(`{"started":true,"verb":"shrink","nodes":%d}`, arg))
 	}
 	return nil
 }
@@ -599,4 +619,9 @@ func (e *Ensemble) Close() {
 	for _, n := range e.Storage {
 		n.Close()
 	}
+	e.rebalMu.Lock()
+	if e.rebal != nil {
+		e.rebal.Close()
+	}
+	e.rebalMu.Unlock()
 }

@@ -18,6 +18,11 @@ const (
 
 	ProcSnapshot = 1 // -> opaque JSON ClusterSnapshot
 	ProcTraces   = 2 // args: u32 max -> opaque JSON []NamedSpan
+
+	// Elastic-ensemble admin verbs, answered by the same stats plane.
+	ProcRebalanceStatus = 3 // -> opaque JSON rebalance.Status
+	ProcGrow            = 4 // args: u32 nodes -> opaque JSON ack
+	ProcShrink          = 5 // args: u32 nodes -> opaque JSON ack
 )
 
 // Collector aggregates the registries (and tracers) of every component

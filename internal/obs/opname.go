@@ -130,6 +130,12 @@ func OpName(prog, proc uint32) string {
 			return "obs.snapshot"
 		case ProcTraces:
 			return "obs.traces"
+		case ProcRebalanceStatus:
+			return "obs.rebalance-status"
+		case ProcGrow:
+			return "obs.grow"
+		case ProcShrink:
+			return "obs.shrink"
 		}
 	}
 	return fmt.Sprintf("prog%d.proc%d", prog, proc)

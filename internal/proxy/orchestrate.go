@@ -167,6 +167,24 @@ func (p *Proxy) dataSites(fh fhandle.Handle) []netsim.Addr {
 				add(a)
 			}
 		}
+		// Mid-transition, the pending binding's nodes may already hold
+		// double-written blocks; a remove or truncate that skipped them
+		// would resurrect dead bytes at the swap.
+		if pend := p.cfg.IO.Storage.PendingPhysical(); pend != nil {
+			reps := p.cfg.IO.Storage.PendingReplicas()
+			if reps == nil {
+				reps = p.cfg.IO.Replicas
+			}
+			for _, a := range pend {
+				if g, ok := reps.GroupOf(a); ok {
+					for _, m := range g.Members {
+						add(m)
+					}
+				} else {
+					add(a)
+				}
+			}
+		}
 	}
 	return out
 }

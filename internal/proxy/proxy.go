@@ -673,40 +673,39 @@ func (p *Proxy) routeIO(d []byte, key pendKey, pd *pendingReq) netsim.Verdict {
 
 	pd.hop = obs.HopStorage
 	stripe := io.StripeIndex(info.Offset)
-	if info.Proc == nfsproto.ProcWrite && (info.FH.Mirrored() || p.dirty != nil) {
+	if info.Proc == nfsproto.ProcWrite {
+		// Resolve the full target set: one node for a plain write, the
+		// whole replica group when replicated, both bindings' targets
+		// while a topology transition is open (double-write). Anything
+		// beyond one target fans out and completes only when every
+		// target replied.
 		targets, err := p.writeTargets(pd.span, info.FH, stripe)
 		if err != nil || len(targets) == 0 {
 			p.dropPending(pd)
 			return p.consumeDrop(d)
 		}
-		pd.expect = len(targets)
-		if p.dirty != nil && len(targets) > 1 {
-			// Mark before the packets leave: a read racing this fan-out
-			// must see the object dirty and pin to the primary.
-			pd.dirtyKey = info.FH.Ident()
-			pd.dirtyMark = true
-			p.dirty.MarkWrite(pd.dirtyKey)
-			if p.hists != nil {
-				p.hists.dirtyOcc.Record(uint64(p.dirty.Len()))
+		if len(targets) > 1 {
+			pd.expect = len(targets)
+			if p.dirty != nil {
+				// Mark before the packets leave: a read racing this fan-out
+				// must see the object dirty and pin to the primary.
+				pd.dirtyKey = info.FH.Ident()
+				pd.dirtyMark = true
+				p.dirty.MarkWrite(pd.dirtyKey)
+				if p.hists != nil {
+					p.hists.dirtyOcc.Record(uint64(p.dirty.Len()))
+				}
 			}
+			p.st.rewriteNS.Add(uint64(time.Since(t0)))
+			return p.forwardMulti(d, key, pd, targets)
 		}
 		p.st.rewriteNS.Add(uint64(time.Since(t0)))
-		return p.forwardMulti(d, key, pd, targets)
+		return p.forward(d, key, pd, targets[0])
 	}
 
-	var addr netsim.Addr
-	var err error
-	if info.Proc == nfsproto.ProcRead {
-		addr, err = p.readTarget(pd.span, info.FH, stripe)
-		if err == nil && p.dirty != nil {
-			addr = p.spreadRead(pd, key, addr, stripe)
-		}
-	} else {
-		var ts []netsim.Addr
-		ts, err = p.writeTargets(pd.span, info.FH, stripe)
-		if err == nil {
-			addr = ts[0]
-		}
+	addr, err := p.readTarget(pd.span, info.FH, stripe)
+	if err == nil && p.dirty != nil {
+		addr = p.spreadRead(pd, key, addr, stripe)
 	}
 	if err != nil {
 		p.dropPending(pd)
@@ -831,15 +830,12 @@ func (p *Proxy) retargets(prog uint32, proc nfsproto.Proc, info nfsproto.Request
 		}
 		stripe := p.cfg.IO.StripeIndex(info.Offset)
 		if proc == nfsproto.ProcWrite {
+			// Keep the full resolved fan-out: replica members must all
+			// converge, and a write retransmitted across a transition
+			// boundary must reach the pending binding too.
 			ts, err := p.writeTargets(nil, info.FH, stripe)
 			if err != nil || len(ts) == 0 {
 				return nil, false
-			}
-			// An unmirrored, unreplicated write goes to one node; with
-			// replication the retransmission keeps the full fan-out so
-			// every member still converges.
-			if !info.FH.Mirrored() && p.dirty == nil {
-				ts = ts[:1]
 			}
 			return ts, true
 		}

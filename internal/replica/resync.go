@@ -18,8 +18,11 @@ const (
 	PeerProgram = 200102
 	PeerVersion = 1
 
-	PeerProcList = 1 // token u64, after u64, max u32 -> status, n, n×(id u64, size u64)
-	PeerProcRead = 2 // token u64, id u64, off u64, count u32 -> status, opaque data
+	PeerProcList     = 1 // token u64, after u64, max u32 -> status, n, n×(id u64, size u64)
+	PeerProcRead     = 2 // token u64, id u64, off u64, count u32 -> status, opaque data
+	PeerProcWrite    = 3 // token u64, id u64, off u64, opaque data -> status (durable write)
+	PeerProcRemove   = 4 // token u64, id u64 -> status
+	PeerProcTruncate = 5 // token u64, id u64, size u64 -> status (creates if absent)
 )
 
 // Peer-program status codes (the program is internal; NFS statuses

@@ -37,9 +37,13 @@ type Table struct {
 	state atomic.Pointer[tableState]
 }
 
-// tableState is one immutable logical→physical binding generation.
+// tableState is one immutable logical→physical binding generation. A
+// snapshot carries the open transition's pending binding too, so one
+// atomic load gives the data path a consistent (current, pending) pair.
 type tableState struct {
 	sites   []netsim.Addr // logical -> physical; never mutated once stored
+	ring    []ringPoint   // non-nil: consistent-hash placement (transition.go)
+	next    *pendingState // open transition's pending binding (nil: none)
 	version uint64
 }
 
@@ -74,11 +78,18 @@ func (t *Table) bind(logical int, physical []netsim.Addr, version uint64) {
 // number of logical sites. This is the reconfiguration step of §3.3.1:
 // after adding or removing a server, only the logical→physical binding
 // changes; request keys keep hashing to the same logical sites. In-flight
-// lookups keep reading the snapshot they loaded.
+// lookups keep reading the snapshot they loaded. Swap abandons any open
+// transition (failover rebinds outrank a background migration, whose
+// epoch-guarded Commit then fails cleanly).
 func (t *Table) Swap(physical []netsim.Addr) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cur := t.state.Load()
+	if cur.ring != nil {
+		sites := append([]netsim.Addr(nil), physical...)
+		t.state.Store(&tableState{sites: sites, ring: buildRing(sites), version: cur.version + 1})
+		return
+	}
 	t.bind(len(cur.sites), physical, cur.version+1)
 }
 
@@ -94,11 +105,14 @@ func (t *Table) Version() uint64 {
 
 // Site returns the logical site for a 64-bit key.
 func (t *Table) Site(key uint64) uint32 {
-	sites := t.state.Load().sites
-	if len(sites) == 0 {
+	st := t.state.Load()
+	if len(st.sites) == 0 {
 		return 0
 	}
-	return uint32(key % uint64(len(sites)))
+	if st.ring != nil {
+		return ringSite(st.ring, key)
+	}
+	return uint32(key % uint64(len(st.sites)))
 }
 
 // Lookup returns the physical address bound to a logical site.
@@ -113,11 +127,14 @@ func (t *Table) Lookup(site uint32) (netsim.Addr, error) {
 // Route maps a key to a physical address in one step (one snapshot load:
 // the site choice and the address resolve against the same generation).
 func (t *Table) Route(key uint64) (netsim.Addr, error) {
-	sites := t.state.Load().sites
-	if len(sites) == 0 {
+	st := t.state.Load()
+	if len(st.sites) == 0 {
 		return netsim.Addr{}, ErrEmptyTable
 	}
-	return sites[int(uint32(key%uint64(len(sites))))%len(sites)], nil
+	if st.ring != nil {
+		return st.sites[int(ringSite(st.ring, key))%len(st.sites)], nil
+	}
+	return st.sites[int(uint32(key%uint64(len(st.sites))))%len(st.sites)], nil
 }
 
 // Physical returns a copy of the current logical→physical binding.
@@ -257,7 +274,11 @@ func (p *IOPolicy) StorageSites(fh fhandle.Handle, stripe uint64) []uint32 {
 
 // WriteTargets returns every storage node that must receive a write of the
 // given stripe: all replicas for mirrored files, and — when the array is
-// replicated — every member of each resolved site's replica group.
+// replicated — every member of each resolved site's replica group. While
+// the storage table has an open transition the result is the union of the
+// current and pending bindings' targets (double-writing: the migration
+// copier never chases bytes written behind it, and an abort loses
+// nothing because the old binding saw every write too).
 func (p *IOPolicy) WriteTargets(fh fhandle.Handle, stripe uint64) ([]netsim.Addr, error) {
 	sites := p.StorageSites(fh, stripe)
 	if len(sites) == 0 {
@@ -275,7 +296,47 @@ func (p *IOPolicy) WriteTargets(fh fhandle.Handle, stripe uint64) ([]netsim.Addr
 		}
 		addrs = append(addrs, a)
 	}
+	addrs = p.appendPendingTargets(addrs, fh, stripe)
 	return dedupAddrs(addrs), nil
+}
+
+// appendPendingTargets adds the pending binding's targets for the
+// stripe when a transition is open. The pending replica map (when the
+// transition carries one) expands pending primaries; otherwise the
+// current map does.
+func (p *IOPolicy) appendPendingTargets(addrs []netsim.Addr, fh fhandle.Handle, stripe uint64) []netsim.Addr {
+	next := p.Storage.state.Load().next
+	if next == nil || len(next.sites) == 0 {
+		return addrs
+	}
+	n := len(next.sites)
+	key := placementKey(fh, stripe)
+	var base uint32
+	if next.ring != nil {
+		base = ringSite(next.ring, key)
+	} else {
+		base = uint32(key % uint64(n))
+	}
+	degree := 1
+	if fh.Mirrored() {
+		degree = int(fh.MirrorDegree)
+		if degree > n {
+			degree = n
+		}
+	}
+	reps := next.reps
+	if reps == nil {
+		reps = p.Replicas
+	}
+	for i := 0; i < degree; i++ {
+		a := next.sites[(int(base)+i)%n]
+		if g, ok := reps.GroupOf(a); ok {
+			addrs = append(addrs, g.Members...)
+			continue
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs
 }
 
 // dedupAddrs removes repeats in place, preserving order (mirrored sites

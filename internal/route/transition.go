@@ -1,0 +1,381 @@
+// Versioned topology transitions and consistent-hash (ring) tables.
+//
+// A transition is a two-phase rebind of a Table: Begin publishes a
+// *pending* binding next to the current one (bumping the version so
+// µproxies re-resolve and start double-writing new data to both
+// bindings), a background migrator copies old blocks, and Commit makes
+// the pending binding current (or Abort discards it). Both phases are
+// epoch-guarded: the epoch minted by Begin must be presented to
+// Commit/Abort, so a crashed migration cannot commit a transition it
+// no longer owns and the coordinator's intention probe can roll back a
+// dead driver's transition without racing a live one.
+//
+// Ring tables place keys by consistent hashing (Chord's "roughly equal
+// share with minimal movement" argument): each physical node projects a
+// fixed set of pseudo-random points on a 64-bit ring derived only from
+// its own address, and a key belongs to the successor point. Adding a
+// node therefore only moves the keys that land on the new node's arcs;
+// removing one only moves its own keys — no survivor-to-survivor
+// shuffling. The name and small-file hash spaces use ring tables; the
+// bulk-striping table stays modular (stripes want an even round-robin
+// decluster, and PlanGrow/PlanShrink give it minimal movement at
+// logical-site granularity instead).
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"slice/internal/netsim"
+	"slice/internal/replica"
+)
+
+// pendingState is the not-yet-committed half of a transition, carried
+// inside the table snapshot so the data path sees (current, pending)
+// consistently from a single atomic load.
+type pendingState struct {
+	sites []netsim.Addr // pending logical -> physical binding
+	ring  []ringPoint   // pending ring (ring tables only)
+	reps  *replica.Map  // replica groups under the pending binding (may be nil)
+	epoch uint64
+}
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	point uint64
+	site  uint32
+}
+
+// ringVnodes is the number of ring points each physical node projects.
+// More points smooth the per-node share (with 96 the max/mean load
+// ratio stays under ~1.3 for small arrays) at a small lookup cost
+// (binary search over n*96 points).
+const ringVnodes = 96
+
+// mix64 is the splitmix64 finalizer — a cheap full-avalanche mix so
+// adjacent keys and adjacent vnode indices land on unrelated ring
+// points.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nodeSeed derives a stable per-node seed from the address alone, so a
+// node's ring points never depend on the rest of the membership — the
+// property minimal movement rests on.
+func nodeSeed(a netsim.Addr) uint64 {
+	return mix64(uint64(a.Host)<<16 | uint64(a.Port))
+}
+
+// buildRing projects every site's points and sorts them.
+func buildRing(sites []netsim.Addr) []ringPoint {
+	ring := make([]ringPoint, 0, len(sites)*ringVnodes)
+	for i, a := range sites {
+		seed := nodeSeed(a)
+		for j := 0; j < ringVnodes; j++ {
+			ring = append(ring, ringPoint{
+				point: mix64(seed + uint64(j)*0x9E3779B97F4A7C15),
+				site:  uint32(i),
+			})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].point != ring[j].point {
+			return ring[i].point < ring[j].point
+		}
+		return ring[i].site < ring[j].site
+	})
+	return ring
+}
+
+// ringSite finds the successor point for a key (alloc-free binary
+// search on the routing hot path).
+func ringSite(ring []ringPoint, key uint64) uint32 {
+	h := mix64(key)
+	lo, hi := 0, len(ring)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ring[mid].point < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ring) {
+		lo = 0 // wrap: successor of the last point is the first
+	}
+	return ring[lo].site
+}
+
+// NewRingTable builds a consistent-hash table over the physical
+// servers: one logical site per server, keys placed by ring successor.
+// Swap/Begin/Commit preserve the minimal-movement property because
+// each node's ring points depend only on its own address.
+func NewRingTable(physical []netsim.Addr) *Table {
+	t := &Table{}
+	sites := append([]netsim.Addr(nil), physical...)
+	t.state.Store(&tableState{sites: sites, ring: buildRing(sites), version: 1})
+	return t
+}
+
+// Ring reports whether the table places keys by consistent hashing.
+func (t *Table) Ring() bool {
+	return t.state.Load().ring != nil
+}
+
+// ------------------------------------------------------------ transitions
+
+// ErrTransitionPending is returned by Begin while another transition is
+// still open; callers must Commit or Abort it first.
+var ErrTransitionPending = fmt.Errorf("route: transition already pending")
+
+// Begin opens a transition to a new binding and returns its epoch. For
+// modular tables next is the complete logical→physical site list (use
+// PlanGrow/PlanShrink to derive one with minimal movement); for ring
+// tables it is the new physical server set. The current binding stays
+// authoritative for reads; WriteTargets starts unioning both bindings.
+// reps carries the replica groups the pending binding will run under
+// (nil keeps the current map). The version bump makes retransmitting
+// µproxies re-resolve in-flight requests.
+func (t *Table) Begin(next []netsim.Addr, reps *replica.Map) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.state.Load()
+	if cur.next != nil {
+		return 0, ErrTransitionPending
+	}
+	if len(next) == 0 {
+		return 0, ErrEmptyTable
+	}
+	pend := &pendingState{
+		sites: append([]netsim.Addr(nil), next...),
+		reps:  reps,
+		epoch: cur.version + 1,
+	}
+	if cur.ring != nil {
+		pend.ring = buildRing(pend.sites)
+	}
+	t.state.Store(&tableState{
+		sites:   cur.sites,
+		ring:    cur.ring,
+		next:    pend,
+		version: cur.version + 1,
+	})
+	return pend.epoch, nil
+}
+
+// Commit installs the pending binding as current, ending the
+// transition. It returns false (and changes nothing) unless a
+// transition with exactly this epoch is open — a migration driver that
+// lost its transition to a coordinator-probe Abort cannot commit a
+// half-copied binding.
+func (t *Table) Commit(epoch uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.state.Load()
+	if cur.next == nil || cur.next.epoch != epoch {
+		return false
+	}
+	t.state.Store(&tableState{
+		sites:   cur.next.sites,
+		ring:    cur.next.ring,
+		version: cur.version + 1,
+	})
+	return true
+}
+
+// Abort discards the pending binding, keeping the current one. Same
+// epoch guard as Commit.
+func (t *Table) Abort(epoch uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.state.Load()
+	if cur.next == nil || cur.next.epoch != epoch {
+		return false
+	}
+	t.state.Store(&tableState{
+		sites:   cur.sites,
+		ring:    cur.ring,
+		version: cur.version + 1,
+	})
+	return true
+}
+
+// Transitioning reports whether a transition is open.
+func (t *Table) Transitioning() bool {
+	return t.state.Load().next != nil
+}
+
+// PendingEpoch returns the open transition's epoch (0: none).
+func (t *Table) PendingEpoch() uint64 {
+	if next := t.state.Load().next; next != nil {
+		return next.epoch
+	}
+	return 0
+}
+
+// PendingReplicas returns the replica map the pending binding will run
+// under, or nil when the transition keeps (or has no) replica groups.
+func (t *Table) PendingReplicas() *replica.Map {
+	if next := t.state.Load().next; next != nil {
+		return next.reps
+	}
+	return nil
+}
+
+// PendingNumLogical returns the pending binding's logical site count
+// (0: no transition).
+func (t *Table) PendingNumLogical() int {
+	if next := t.state.Load().next; next != nil {
+		return len(next.sites)
+	}
+	return 0
+}
+
+// PendingSite returns the logical site a key will map to after the
+// transition commits.
+func (t *Table) PendingSite(key uint64) uint32 {
+	next := t.state.Load().next
+	if next == nil || len(next.sites) == 0 {
+		return 0
+	}
+	if next.ring != nil {
+		return ringSite(next.ring, key)
+	}
+	return uint32(key % uint64(len(next.sites)))
+}
+
+// PendingLookup resolves a pending logical site to its physical server.
+func (t *Table) PendingLookup(site uint32) (netsim.Addr, error) {
+	next := t.state.Load().next
+	if next == nil || len(next.sites) == 0 {
+		return netsim.Addr{}, ErrEmptyTable
+	}
+	return next.sites[int(site)%len(next.sites)], nil
+}
+
+// PendingPhysical returns the distinct physical servers of the pending
+// binding, in first-appearance order (nil: no transition).
+func (t *Table) PendingPhysical() []netsim.Addr {
+	next := t.state.Load().next
+	if next == nil {
+		return nil
+	}
+	return distinctAddrs(next.sites)
+}
+
+// distinctAddrs returns the distinct addresses in first-appearance
+// order.
+func distinctAddrs(sites []netsim.Addr) []netsim.Addr {
+	out := make([]netsim.Addr, 0, len(sites))
+	seen := make(map[netsim.Addr]bool, len(sites))
+	for _, a := range sites {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// --------------------------------------------------------------- planners
+
+// PlanGrow derives the pending site list for adding servers: the
+// binding is extended to `logical` sites (at least the current count)
+// and the minimum number of sites move — every node ends within one of
+// its fair share, and a site changes owner only when its old owner is
+// over quota, so the moved fraction is exactly the consistent-hashing
+// minimum at site granularity.
+func PlanGrow(cur []netsim.Addr, add []netsim.Addr, logical int) ([]netsim.Addr, error) {
+	if logical < len(cur) {
+		logical = len(cur)
+	}
+	nodes := distinctAddrs(cur)
+	for _, a := range add {
+		dup := false
+		for _, b := range nodes {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			nodes = append(nodes, a)
+		}
+	}
+	sites := make([]netsim.Addr, logical)
+	copy(sites, cur)
+	return rebind(sites, nodes, len(cur))
+}
+
+// PlanShrink derives the pending site list for removing servers: the
+// logical site count is preserved, and only the sites bound to removed
+// servers move (to the survivors with the most headroom).
+func PlanShrink(cur []netsim.Addr, remove []netsim.Addr) ([]netsim.Addr, error) {
+	removed := make(map[netsim.Addr]bool, len(remove))
+	for _, a := range remove {
+		removed[a] = true
+	}
+	var nodes []netsim.Addr
+	for _, a := range distinctAddrs(cur) {
+		if !removed[a] {
+			nodes = append(nodes, a)
+		}
+	}
+	sites := append([]netsim.Addr(nil), cur...)
+	for i, a := range sites {
+		if removed[a] {
+			sites[i] = netsim.Addr{} // orphan: rebind below
+		}
+	}
+	return rebind(sites, nodes, len(cur))
+}
+
+// rebind balances a partially-assigned site list over the node set with
+// minimal movement: each node keeps up to its quota of the sites it
+// already owns; everything beyond quota (and every unassigned site in
+// [assigned, len)) is handed to the nodes still under quota, in node
+// order. Sites at index >= assigned are treated as new (unowned).
+func rebind(sites []netsim.Addr, nodes []netsim.Addr, assigned int) ([]netsim.Addr, error) {
+	n := len(nodes)
+	if n == 0 {
+		return nil, ErrEmptyTable
+	}
+	base, extra := len(sites)/n, len(sites)%n
+	quota := make(map[netsim.Addr]int, n)
+	for i, a := range nodes {
+		quota[a] = base
+		if i < extra {
+			quota[a]++
+		}
+	}
+	var orphans []int
+	for i := range sites {
+		a := sites[i]
+		if i >= assigned || a == (netsim.Addr{}) {
+			orphans = append(orphans, i)
+			continue
+		}
+		if q, ok := quota[a]; ok && q > 0 {
+			quota[a] = q - 1
+		} else {
+			orphans = append(orphans, i) // over quota or node not in set
+		}
+	}
+	next := 0
+	for _, i := range orphans {
+		for next < n && quota[nodes[next]] == 0 {
+			next++
+		}
+		if next == n {
+			return nil, fmt.Errorf("route: rebind quota exhausted")
+		}
+		sites[i] = nodes[next]
+		quota[nodes[next]]--
+	}
+	return sites, nil
+}

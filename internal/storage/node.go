@@ -340,6 +340,12 @@ func (n *Node) serveObj(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
 }
 
 // -------------------------------------------------- replica peer program
+//
+// Besides the list/read procs the resync puller uses, the program
+// carries write/remove/truncate so the rebalance driver (a peer inside
+// the trust boundary, holding the same bearer token) can push objects
+// onto the nodes a topology transition adds and scrub ghosts it finds
+// during verification.
 
 // peerAuthorized checks the peer-program bearer token. The token is
 // derived from the capability key, which never leaves the trust
@@ -418,6 +424,46 @@ func (n *Node) servePeer(call oncrpc.Call) (func(*xdr.Encoder), uint32) {
 			e.PutUint32(replica.PeerOK)
 			e.PutOpaque(buf[:cnt])
 		}, oncrpc.AcceptSuccess
+
+	case replica.PeerProcWrite:
+		id, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		off, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		data, err := d.Opaque()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		if werr := n.store.WriteAt(ObjectID(id), int64(off), data, true); werr != nil {
+			return func(e *xdr.Encoder) { e.PutUint32(replica.PeerNoObj) }, oncrpc.AcceptSuccess
+		}
+		return func(e *xdr.Encoder) { e.PutUint32(replica.PeerOK) }, oncrpc.AcceptSuccess
+
+	case replica.PeerProcRemove:
+		id, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		n.store.Remove(ObjectID(id))
+		return func(e *xdr.Encoder) { e.PutUint32(replica.PeerOK) }, oncrpc.AcceptSuccess
+
+	case replica.PeerProcTruncate:
+		id, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		size, err := d.Uint64()
+		if err != nil {
+			return nil, oncrpc.AcceptGarbageArgs
+		}
+		if terr := n.store.Truncate(ObjectID(id), int64(size)); terr != nil {
+			return func(e *xdr.Encoder) { e.PutUint32(replica.PeerNoObj) }, oncrpc.AcceptSuccess
+		}
+		return func(e *xdr.Encoder) { e.PutUint32(replica.PeerOK) }, oncrpc.AcceptSuccess
 
 	default:
 		return nil, oncrpc.AcceptProcUnavail

@@ -28,6 +28,7 @@ func main() {
 	emitNfsproto()
 	emitOncrpc()
 	emitWal()
+	emitRoute()
 	fmt.Println("gencorpus: seed corpora written")
 }
 
@@ -136,6 +137,24 @@ func emitOncrpc() {
 
 	write("oncrpc", target, "seed_call_torn", call[:9])
 	write("oncrpc", target, "seed_unsupported_vers", []byte{0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 9})
+}
+
+// emitRoute seeds FuzzTableTransition's op-code programs: byte 0 picks
+// the table kind (even = modulo with logical slack, odd = consistent-hash
+// ring), every later byte is an op mod 5 (0 begin-grow, 1 commit,
+// 2 abort, 3 failover swap, 4 route keys). The seeds walk each structural
+// transition the invariants guard: clean grow+commit, abort rollback,
+// swap abandoning an open transition, stale commits after close, and
+// chained grows on both kinds.
+func emitRoute() {
+	const target = "FuzzTableTransition"
+	write("route", target, "seed_modulo_grow_commit", []byte{0, 0, 4, 1, 4})
+	write("route", target, "seed_ring_grow_commit", []byte{1, 0, 4, 1, 4})
+	write("route", target, "seed_abort_rolls_back", []byte{0, 0, 4, 2, 4})
+	write("route", target, "seed_swap_abandons_open", []byte{0, 0, 3, 4, 1, 2})
+	write("route", target, "seed_stale_ops_after_close", []byte{1, 0, 1, 1, 2, 1, 2})
+	write("route", target, "seed_chained_grows", []byte{0, 0, 1, 0, 1, 0, 2, 0, 1, 4})
+	write("route", target, "seed_ring_churn", []byte{1, 0, 2, 0, 1, 3, 0, 1, 3, 4, 0, 2})
 }
 
 func emitWal() {
